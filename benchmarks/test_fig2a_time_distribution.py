@@ -1,0 +1,43 @@
+"""Fig. 2(a) — VQRF rendering-time distribution on A100 / ONX / XNX.
+
+Paper shape: edge platforms spend 4.79x-5.14x more of their time on memory
+access than the A100; edge rendering is memory-bandwidth bound.
+"""
+
+from conftest import save_result
+
+from repro.analysis.profiling import runtime_distribution_study
+from repro.analysis.reporting import format_table
+
+
+def test_fig2a_runtime_distribution(benchmark, frame_workloads):
+    rows = benchmark.pedantic(
+        runtime_distribution_study, args=(frame_workloads,), rounds=1, iterations=1
+    )
+    text = format_table(
+        ["platform", "memory frac", "compute frac", "other frac", "mean FPS"],
+        [
+            [r.platform, r.memory_fraction, r.compute_fraction, r.other_fraction, r.mean_fps]
+            for r in rows
+        ],
+        precision=3,
+        title="Fig. 2(a): VQRF time distribution per platform (avg over scenes)",
+    )
+    save_result("fig2a_time_distribution", text)
+
+    by_name = {r.platform: r for r in rows}
+    xnx, onx, a100 = (
+        by_name["Jetson Xavier NX"],
+        by_name["Jetson Orin NX"],
+        by_name["A100"],
+    )
+    # Edge platforms are memory-bound; the A100 is not.
+    assert xnx.memory_fraction > 0.6
+    assert onx.memory_fraction > 0.6
+    assert a100.memory_fraction < 0.45
+    # Edge memory-time share is several times the A100's (paper: 4.79-5.14x).
+    assert xnx.memory_fraction / a100.memory_fraction > 2.0
+    assert onx.memory_fraction / a100.memory_fraction > 2.0
+    # Edge GPUs are far from real time; A100 is much faster.
+    assert xnx.mean_fps < 2.0
+    assert a100.mean_fps > 10.0 * xnx.mean_fps

@@ -1,0 +1,79 @@
+"""Fig. 7 — PSNR vs subgrid number and vs hash-table size.
+
+Paper shape: PSNR rises quickly and saturates; the paper picks 64 subgrids and
+32k-entry tables because larger values give only marginal gains.
+"""
+
+from conftest import save_result
+
+from repro.analysis.reporting import format_table
+from repro.analysis.sweep import hash_table_size_sweep, subgrid_sweep
+
+
+def _lego_bundle(render_bundles):
+    return next(b for b in render_bundles if b.scene.name == "lego")
+
+
+def test_fig7a_psnr_vs_subgrid_number(benchmark, render_bundles):
+    bundle = _lego_bundle(render_bundles)
+    rows = benchmark.pedantic(
+        subgrid_sweep,
+        args=(bundle,),
+        kwargs={
+            "subgrid_counts": (1, 2, 4, 8, 16, 32, 64, 128),
+            "hash_table_size": 16384,
+            "num_pixels": 1500,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    text = format_table(
+        ["subgrids", "PSNR (dB)", "collision rate", "memory (MB)"],
+        [
+            [int(r["num_subgrids"]), r["psnr"], r["collision_rate"], r["memory_bytes"] / 1e6]
+            for r in rows
+        ],
+        precision=3,
+        title="Fig. 7(a): PSNR vs subgrid number (hash table size 16k, lego)",
+    )
+    save_result("fig7a_subgrid_sweep", text)
+
+    psnr_values = [r["psnr"] for r in rows]
+    # More subgrids -> more total hash capacity -> fewer collisions -> PSNR
+    # rises then saturates.
+    assert psnr_values[-1] > psnr_values[0]
+    assert rows[-1]["collision_rate"] < rows[0]["collision_rate"]
+    # Saturation: the last doubling gains far less than the first ones.
+    assert abs(psnr_values[-1] - psnr_values[-2]) < 0.5 * (psnr_values[-2] - psnr_values[0] + 1e-9) + 1.0
+
+
+def test_fig7b_psnr_vs_hash_table_size(benchmark, render_bundles):
+    bundle = _lego_bundle(render_bundles)
+    rows = benchmark.pedantic(
+        hash_table_size_sweep,
+        args=(bundle,),
+        kwargs={
+            "table_sizes": (512, 1024, 2048, 4096, 8192, 16384, 32768),
+            "num_subgrids": 64,
+            "num_pixels": 1500,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    text = format_table(
+        ["table size", "PSNR (dB)", "collision rate", "memory (MB)"],
+        [
+            [int(r["hash_table_size"]), r["psnr"], r["collision_rate"], r["memory_bytes"] / 1e6]
+            for r in rows
+        ],
+        precision=3,
+        title="Fig. 7(b): PSNR vs hash table size (64 subgrids, lego)",
+    )
+    save_result("fig7b_table_size_sweep", text)
+
+    psnr_values = [r["psnr"] for r in rows]
+    assert psnr_values[-1] > psnr_values[0]
+    # Collisions vanish as the table grows.
+    assert rows[-1]["collision_rate"] < rows[0]["collision_rate"]
+    # The knee: by 32k entries the curve has flattened (marginal last gain).
+    assert psnr_values[-1] - psnr_values[-2] < 1.0

@@ -1,0 +1,48 @@
+"""Fig. 8(a) — normalized speedup of SpNeRF over Jetson XNX and ONX.
+
+Paper shape: 52.4x-157.1x over XNX and 34.9x-112.2x over ONX, with the spread
+across scenes tracking scene occupancy, and the XNX speedups larger than the
+ONX speedups on every scene.
+"""
+
+import numpy as np
+from conftest import save_result
+
+from repro.analysis.comparison import compare_against_edge_platforms
+from repro.analysis.reporting import format_table
+
+
+def test_fig8a_speedup_vs_edge_gpus(benchmark, accelerator, frame_workloads):
+    rows = benchmark.pedantic(
+        compare_against_edge_platforms,
+        args=(accelerator, frame_workloads),
+        rounds=1,
+        iterations=1,
+    )
+    text = format_table(
+        ["scene", "SpNeRF FPS", "XNX FPS", "ONX FPS", "speedup vs XNX", "speedup vs ONX"],
+        [
+            [r.scene, r.spnerf_fps, r.xnx_fps, r.onx_fps, r.speedup_vs_xnx, r.speedup_vs_onx]
+            for r in rows
+        ],
+        precision=2,
+        title="Fig. 8(a): normalized speedup vs edge computing platforms",
+    )
+    save_result("fig8a_speedup", text)
+
+    xnx_speedups = [r.speedup_vs_xnx for r in rows]
+    onx_speedups = [r.speedup_vs_onx for r in rows]
+    spnerf_fps = [r.spnerf_fps for r in rows]
+
+    # Orders of magnitude faster than both edge GPUs on every scene.
+    assert min(xnx_speedups) > 30.0
+    assert min(onx_speedups) > 20.0
+    # XNX speedup exceeds ONX speedup (ONX is the faster GPU) on every scene.
+    assert all(x > o for x, o in zip(xnx_speedups, onx_speedups))
+    # Average speedups land in the paper's order of magnitude (95.1x / 63.5x).
+    assert 50.0 < float(np.mean(xnx_speedups)) < 300.0
+    assert 30.0 < float(np.mean(onx_speedups)) < 200.0
+    # There is a real per-scene spread (paper: ~3x between extremes).
+    assert max(xnx_speedups) / min(xnx_speedups) > 1.3
+    # SpNeRF itself is real-time on average (paper: 67.56 FPS).
+    assert 30.0 < float(np.mean(spnerf_fps)) < 150.0

@@ -1,0 +1,45 @@
+"""Fig. 8(b) — normalized energy efficiency vs Jetson XNX and ONX.
+
+Paper shape: 346.4x-1030.9x better FPS/W than XNX and 288.7x-937.2x better
+than ONX; energy-efficiency gains exceed the raw speedups because the
+accelerator also draws far less power than the 20-25 W Jetson boards.
+"""
+
+import numpy as np
+from conftest import save_result
+
+from repro.analysis.comparison import compare_against_edge_platforms
+from repro.analysis.reporting import format_table
+
+
+def test_fig8b_energy_efficiency_vs_edge_gpus(benchmark, accelerator, frame_workloads):
+    rows = benchmark.pedantic(
+        compare_against_edge_platforms,
+        args=(accelerator, frame_workloads),
+        rounds=1,
+        iterations=1,
+    )
+    text = format_table(
+        ["scene", "SpNeRF FPS/W", "energy eff vs XNX", "energy eff vs ONX"],
+        [
+            [r.scene, r.spnerf_fps_per_watt, r.energy_eff_vs_xnx, r.energy_eff_vs_onx]
+            for r in rows
+        ],
+        precision=2,
+        title="Fig. 8(b): normalized energy efficiency vs edge computing platforms",
+    )
+    save_result("fig8b_energy_efficiency", text)
+
+    xnx_gains = [r.energy_eff_vs_xnx for r in rows]
+    onx_gains = [r.energy_eff_vs_onx for r in rows]
+
+    # Hundreds of times more energy-efficient than either Jetson.
+    assert min(xnx_gains) > 100.0
+    assert min(onx_gains) > 100.0
+    assert 200.0 < float(np.mean(xnx_gains)) < 3000.0
+    assert 200.0 < float(np.mean(onx_gains)) < 3000.0
+    # Energy-efficiency gain exceeds the raw speedup on every scene, because
+    # the accelerator also draws far less power than the Jetson boards.
+    for row in rows:
+        assert row.energy_eff_vs_xnx > row.speedup_vs_xnx
+        assert row.energy_eff_vs_onx > row.speedup_vs_onx

@@ -1,0 +1,51 @@
+"""Fig. 9 — area and power breakdown of the SpNeRF accelerator.
+
+Paper shape: on-chip SRAM is only a small fraction of total area (571 KB SGPU
+SRAM + 58 KB MLP buffers = 0.61 MB total), and the systolic array — not SRAM —
+dominates power.
+"""
+
+from conftest import save_result
+
+from repro.analysis.comparison import area_power_breakdowns
+from repro.analysis.reporting import format_table
+
+
+def test_fig9_area_and_power_breakdown(benchmark, accelerator, workload_by_scene):
+    workload = workload_by_scene["lego"]
+    result = benchmark.pedantic(
+        area_power_breakdowns, args=(accelerator, workload), rounds=1, iterations=1
+    )
+
+    area_rows = [
+        [name, value, result["area_fraction"][name]]
+        for name, value in sorted(result["area_mm2"].items(), key=lambda kv: -kv[1])
+    ]
+    power_rows = [
+        [name, value, result["power_fraction"][name]]
+        for name, value in sorted(result["power_w"].items(), key=lambda kv: -kv[1])
+    ]
+    text = (
+        format_table(["component", "area (mm^2)", "fraction"], area_rows, precision=3,
+                     title="Fig. 9(a): area breakdown")
+        + "\n\n"
+        + format_table(["component", "power (W)", "fraction"], power_rows, precision=3,
+                       title="Fig. 9(b): power breakdown (lego workload)")
+    )
+    save_result("fig9_area_power", text)
+
+    area_model = accelerator.area_model
+    # Total area and SRAM budget in the paper's ballpark (7.7 mm^2, 0.61 MB).
+    assert 4.5 <= area_model.total_mm2() <= 11.0
+    assert 0.45 <= area_model.total_sram_mbytes() <= 0.80
+    # SRAM is a minor fraction of the area — the paper's key contrast with
+    # prior accelerators.
+    assert area_model.sram_area_fraction() < 0.40
+    # The systolic array dominates both logic area and power.
+    assert result["area_fraction"]["systolic_array"] == max(
+        v for k, v in result["area_fraction"].items()
+    )
+    assert result["power_fraction"]["systolic_array"] == max(
+        result["power_fraction"].values()
+    )
+    assert result["power_fraction"]["on_chip_sram"] < result["power_fraction"]["systolic_array"]

@@ -1,0 +1,27 @@
+"""Table I — profiling-platform specifications."""
+
+from conftest import save_result
+
+from repro.analysis.profiling import platform_table
+from repro.analysis.reporting import format_table
+
+
+def test_table1_platform_specs(benchmark):
+    rows = benchmark.pedantic(platform_table, rounds=1, iterations=1)
+    text = format_table(
+        ["platform", "tech (nm)", "power (W)", "DRAM", "BW (GB/s)", "L2 (KB)", "FP32 (TFLOPS)", "FP16 (TFLOPS)"],
+        [
+            [
+                r["platform"], r["technology_nm"], r["power_w"], r["dram"],
+                r["dram_bandwidth_gbps"], r["l2_cache_kb"], r["fp32_tflops"], r["fp16_tflops"],
+            ]
+            for r in rows
+        ],
+        title="Table I: profiling computing platforms",
+    )
+    save_result("table1_platforms", text)
+
+    by_name = {r["platform"]: r for r in rows}
+    assert by_name["Jetson Xavier NX"]["dram_bandwidth_gbps"] == 59.7
+    assert by_name["Jetson Orin NX"]["dram_bandwidth_gbps"] == 102.4
+    assert by_name["A100"]["dram_bandwidth_gbps"] == 1555.0

@@ -1,0 +1,50 @@
+"""Table II — comparison with RT-NeRF.Edge and NeuRex.Edge.
+
+Paper shape: SpNeRF has the smallest SRAM, a mid-size area, ~3 W power,
+the highest FPS (67.56 reported), and 4x / 4.4x better energy efficiency and
+2.67x / 3.04x better area efficiency than the prior accelerators; speedups of
+1.5x over RT-NeRF.Edge and 10.3x over NeuRex.Edge.
+"""
+
+from conftest import save_result
+
+from repro.analysis.comparison import comparison_table
+from repro.analysis.reporting import format_table
+
+
+def test_table2_accelerator_comparison(benchmark, accelerator, frame_workloads):
+    table = benchmark.pedantic(
+        comparison_table, args=(accelerator, frame_workloads), rounds=1, iterations=1
+    )
+    text = format_table(
+        ["accelerator", "SRAM (MB)", "area (mm^2)", "tech (nm)", "power (W)", "DRAM",
+         "FPS", "FPS/W", "FPS/mm^2"],
+        [
+            [
+                r["accelerator"], r["sram_mb"], r["area_mm2"], r["technology_nm"], r["power_w"],
+                r["dram"], r["fps"], r["energy_eff_fps_per_w"], r["area_eff_fps_per_mm2"],
+            ]
+            for r in table.rows
+        ],
+        precision=2,
+        title="Table II: comparison with prior edge neural-rendering accelerators",
+    )
+    save_result("table2_comparison", text)
+
+    spnerf = table.spnerf_row
+    # SpNeRF uses the least SRAM of the three.
+    assert spnerf["sram_mb"] < 0.86
+    # Faster than both prior accelerators, by much more over NeuRex than over
+    # RT-NeRF (paper: 1.5x and 10.3x).
+    assert 1.0 < table.speedup_over("RT-NeRF.Edge") < 4.0
+    assert 5.0 < table.speedup_over("NeuRex.Edge") < 25.0
+    assert table.speedup_over("NeuRex.Edge") > table.speedup_over("RT-NeRF.Edge")
+    # Energy efficiency: several times better than both (paper: 4x / 4.4x).
+    assert 2.0 < table.energy_efficiency_gain_over("RT-NeRF.Edge") < 12.0
+    assert 2.0 < table.energy_efficiency_gain_over("NeuRex.Edge") < 12.0
+    # Area efficiency also improves.  (The paper reports 2.67x / 3.04x against
+    # its own Table II area-efficiency entries; recomputing NeuRex's FPS/mm^2
+    # from its published FPS and area gives a higher baseline, so the margin
+    # here is smaller — the direction is what matters.)
+    assert table.area_efficiency_gain_over("RT-NeRF.Edge") > 1.5
+    assert table.area_efficiency_gain_over("NeuRex.Edge") > 1.2

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Edge-deployment study: AR/VR rendering budget on an edge device.
+
+The paper's motivation is real-time neural rendering for AR/VR on edge
+devices.  This example takes one scene, measures its 800x800 frame workload,
+and answers the deployment questions an AR/VR system integrator would ask:
+
+* What frame rate does the original VQRF flow reach on a Jetson Xavier NX /
+  Orin NX, and why is it so slow (time distribution)?
+* What does the SpNeRF accelerator reach on the same workload, what does it
+  cost in power and silicon, and where do the cycles go?
+* How large is the per-frame DRAM traffic with and without the hash-mapping
+  preprocessing (the memory-bound problem SpNeRF removes)?
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.reporting import format_table
+from repro.core import SpNeRFConfig, build_spnerf_from_scene
+from repro.datasets import SCENE_NAMES, load_scene
+from repro.hardware import (
+    GPUPlatformModel,
+    SpNeRFAccelerator,
+    workload_from_render,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scene", default="hotdog", choices=SCENE_NAMES)
+    parser.add_argument("--resolution", type=int, default=96)
+    args = parser.parse_args()
+
+    print(f"Building scene '{args.scene}' and SpNeRF model ...")
+    scene = load_scene(args.scene, resolution=args.resolution, image_size=64,
+                       num_views=2, num_samples=96)
+    bundle = build_spnerf_from_scene(scene, SpNeRFConfig())
+    workload = workload_from_render(bundle, probe_resolution=48)
+
+    print(f"  measured workload: {workload.active_samples_per_ray:.2f} active samples/ray, "
+          f"{workload.processed_samples_per_ray:.1f} processed samples/ray, "
+          f"{workload.num_rays} rays per 800x800 frame")
+
+    # --- Edge GPUs running the original VQRF flow -------------------------
+    rows = []
+    for name in ("xnx", "onx", "a100"):
+        model = GPUPlatformModel.by_name(name)
+        breakdown = model.frame_breakdown(workload)
+        rows.append([
+            model.platform.name, breakdown.fps, breakdown.memory_fraction,
+            breakdown.compute_fraction, model.fps_per_watt(workload),
+        ])
+    print("\n" + format_table(
+        ["platform (VQRF flow)", "FPS", "memory time frac", "compute time frac", "FPS/W"],
+        rows, precision=3,
+        title="Original VQRF flow on GPUs",
+    ))
+
+    # --- SpNeRF accelerator ------------------------------------------------
+    accelerator = SpNeRFAccelerator()
+    report = accelerator.simulate_frame(workload)
+    print("\n" + format_table(
+        ["metric", "value"],
+        [
+            ["FPS", report.fps],
+            ["frame latency (ms)", report.frame_time_s * 1e3],
+            ["power (W)", report.power_w],
+            ["FPS/W", report.fps_per_watt],
+            ["DRAM traffic per frame (MB)", report.dram_bytes / 1e6],
+            ["SGPU busy cycles (M)", report.sgpu_cycles / 1e6],
+            ["MLP-unit busy cycles (M)", report.mlp_cycles / 1e6],
+            ["pipeline stall cycles (M)", report.stall_cycles / 1e6],
+            ["accelerator area (mm^2)", accelerator.area_model.total_mm2()],
+            ["on-chip SRAM (MB)", accelerator.area_model.total_sram_mbytes()],
+        ],
+        precision=3,
+        title="SpNeRF accelerator on the same frame",
+    ))
+
+    # --- The memory-bound problem ------------------------------------------
+    restored = bundle.vqrf_model.restored_size_bytes()
+    spnerf_bytes = bundle.spnerf_model.memory_bytes()
+    xnx_fps = GPUPlatformModel.by_name("xnx").fps(workload)
+    print("\n=== Why SpNeRF wins ===")
+    print(f"  VQRF must materialise a {restored / 1e6:.1f} MB dense grid and gather from it "
+          f"irregularly every frame;")
+    print(f"  SpNeRF streams only {spnerf_bytes / 1e6:.1f} MB of hash tables + bitmap + codebook "
+          f"+ INT8 true grid.")
+    print(f"  Result on this scene: {report.fps:.1f} FPS vs {xnx_fps:.2f} FPS on Jetson XNX "
+          f"({report.fps / xnx_fps:.0f}x speedup).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setuptools shim for environments that install with legacy (non-PEP-517) mode."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""SpNeRF reproduction library.
+
+This package reproduces the DATE 2025 paper *SpNeRF: Memory Efficient Sparse
+Volumetric Neural Rendering Accelerator for Edge Devices* as a pure-Python
+(numpy/scipy) simulation of both the algorithm and the hardware.
+
+Top-level subpackages
+---------------------
+``repro.grid``
+    Voxel-grid substrate: dense and sparse grids, COO/CSR/CSC encodings,
+    trilinear interpolation and INT8 quantization.
+``repro.nerf``
+    Volumetric NeRF substrate: cameras, ray sampling, positional encodings, a
+    small numpy MLP, alpha-compositing volume rendering and image metrics.
+``repro.datasets``
+    Procedural Synthetic-NeRF-analog scenes and camera rigs.
+``repro.vqrf``
+    The VQRF baseline: importance scoring, voxel pruning, vector quantization
+    and the restore-the-full-grid rendering flow.
+``repro.core``
+    The paper's contribution: hash-mapping based preprocessing, online sparse
+    voxel-grid decoding with bitmap masking and the SpNeRF renderer.
+``repro.hardware``
+    The SpNeRF accelerator simulator (SGPU + systolic MLP unit), DRAM model,
+    area/power models and the baseline platform models (Jetson XNX/ONX, A100,
+    RT-NeRF.Edge, NeuRex.Edge).
+``repro.analysis``
+    Experiment drivers that regenerate every table and figure of the paper's
+    evaluation section.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "grid",
+    "nerf",
+    "vqrf",
+    "datasets",
+    "hardware",
+    "analysis",
+]

@@ -1,0 +1,57 @@
+"""Experiment drivers.
+
+One module per group of paper artifacts; each returns plain dataclasses /
+dicts that the benchmark harnesses print as the tables and figure series of
+the paper's evaluation section:
+
+* :mod:`~repro.analysis.profiling` — Table I, Fig. 2(a) runtime distribution,
+  Fig. 2(b) voxel-grid sparsity.
+* :mod:`~repro.analysis.memory` — Fig. 6(a) memory-size reduction and the
+  Section II-B sparse-encoding overhead comparison.
+* :mod:`~repro.analysis.quality` — Fig. 6(b) PSNR (VQRF vs SpNeRF before /
+  after bitmap masking).
+* :mod:`~repro.analysis.sweep` — Fig. 7 PSNR vs subgrid number / hash table
+  size.
+* :mod:`~repro.analysis.comparison` — Fig. 8 speedup & energy efficiency,
+  Fig. 9 area/power breakdowns and Table II.
+* :mod:`~repro.analysis.reporting` — small text-table formatting helpers so
+  benchmark output reads like the paper's tables.
+"""
+
+from repro.analysis.comparison import (
+    AcceleratorComparison,
+    EdgePlatformComparison,
+    area_power_breakdowns,
+    compare_against_edge_platforms,
+    comparison_table,
+)
+from repro.analysis.memory import MemoryReductionResult, encoding_overhead_report, memory_reduction_study
+from repro.analysis.profiling import (
+    RuntimeDistribution,
+    platform_table,
+    runtime_distribution_study,
+    sparsity_study,
+)
+from repro.analysis.quality import PSNRResult, psnr_study
+from repro.analysis.reporting import format_table
+from repro.analysis.sweep import hash_table_size_sweep, subgrid_sweep
+
+__all__ = [
+    "platform_table",
+    "RuntimeDistribution",
+    "runtime_distribution_study",
+    "sparsity_study",
+    "MemoryReductionResult",
+    "memory_reduction_study",
+    "encoding_overhead_report",
+    "PSNRResult",
+    "psnr_study",
+    "subgrid_sweep",
+    "hash_table_size_sweep",
+    "EdgePlatformComparison",
+    "compare_against_edge_platforms",
+    "AcceleratorComparison",
+    "comparison_table",
+    "area_power_breakdowns",
+    "format_table",
+]

@@ -1,0 +1,186 @@
+"""Hardware comparisons (Fig. 8, Fig. 9, Table II)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.hardware.accelerator import PerformanceReport, SpNeRFAccelerator
+from repro.hardware.baselines import (
+    NEUREX_EDGE,
+    RT_NERF_EDGE,
+    EdgeAcceleratorSpec,
+    GPUPlatformModel,
+)
+from repro.hardware.platforms import PLATFORMS
+from repro.hardware.workload import FrameWorkload
+
+__all__ = [
+    "EdgePlatformComparison",
+    "compare_against_edge_platforms",
+    "AcceleratorComparison",
+    "comparison_table",
+    "area_power_breakdowns",
+]
+
+
+@dataclass
+class EdgePlatformComparison:
+    """Fig. 8 row: one scene compared against the two edge GPUs."""
+
+    scene: str
+    spnerf_fps: float
+    spnerf_power_w: float
+    xnx_fps: float
+    onx_fps: float
+
+    @property
+    def speedup_vs_xnx(self) -> float:
+        return self.spnerf_fps / self.xnx_fps if self.xnx_fps > 0 else float("inf")
+
+    @property
+    def speedup_vs_onx(self) -> float:
+        return self.spnerf_fps / self.onx_fps if self.onx_fps > 0 else float("inf")
+
+    @property
+    def spnerf_fps_per_watt(self) -> float:
+        return self.spnerf_fps / self.spnerf_power_w if self.spnerf_power_w > 0 else 0.0
+
+    @property
+    def energy_eff_vs_xnx(self) -> float:
+        baseline = self.xnx_fps / PLATFORMS["xnx"].power_w
+        return self.spnerf_fps_per_watt / baseline if baseline > 0 else float("inf")
+
+    @property
+    def energy_eff_vs_onx(self) -> float:
+        baseline = self.onx_fps / PLATFORMS["onx"].power_w
+        return self.spnerf_fps_per_watt / baseline if baseline > 0 else float("inf")
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "scene": self.scene,
+            "spnerf_fps": self.spnerf_fps,
+            "xnx_fps": self.xnx_fps,
+            "onx_fps": self.onx_fps,
+            "speedup_vs_xnx": self.speedup_vs_xnx,
+            "speedup_vs_onx": self.speedup_vs_onx,
+            "energy_eff_vs_xnx": self.energy_eff_vs_xnx,
+            "energy_eff_vs_onx": self.energy_eff_vs_onx,
+        }
+
+
+def compare_against_edge_platforms(
+    accelerator: SpNeRFAccelerator,
+    workloads: Iterable[FrameWorkload],
+) -> List[EdgePlatformComparison]:
+    """Per-scene speedup and energy-efficiency comparison (Fig. 8)."""
+    xnx = GPUPlatformModel.by_name("xnx")
+    onx = GPUPlatformModel.by_name("onx")
+    rows = []
+    for workload in workloads:
+        report = accelerator.simulate_frame(workload)
+        rows.append(
+            EdgePlatformComparison(
+                scene=workload.scene_name,
+                spnerf_fps=report.fps,
+                spnerf_power_w=report.power_w,
+                xnx_fps=xnx.fps(workload),
+                onx_fps=onx.fps(workload),
+            )
+        )
+    return rows
+
+
+@dataclass
+class AcceleratorComparison:
+    """Table II: SpNeRF vs the published edge accelerators."""
+
+    rows: List[Dict[str, object]]
+
+    def by_name(self, name: str) -> Dict[str, object]:
+        for row in self.rows:
+            if row["accelerator"] == name:
+                return row
+        raise KeyError(name)
+
+    @property
+    def spnerf_row(self) -> Dict[str, object]:
+        return self.by_name("SpNeRF (Ours)")
+
+    def speedup_over(self, name: str) -> float:
+        other = self.by_name(name)
+        return float(self.spnerf_row["fps"]) / float(other["fps"])
+
+    def energy_efficiency_gain_over(self, name: str) -> float:
+        other = self.by_name(name)
+        return float(self.spnerf_row["energy_eff_fps_per_w"]) / float(
+            other["energy_eff_fps_per_w"]
+        )
+
+    def area_efficiency_gain_over(self, name: str) -> float:
+        other = self.by_name(name)
+        return float(self.spnerf_row["area_eff_fps_per_mm2"]) / float(
+            other["area_eff_fps_per_mm2"]
+        )
+
+
+def _accelerator_row(spec: EdgeAcceleratorSpec) -> Dict[str, object]:
+    return {
+        "accelerator": spec.name,
+        "sram_mb": spec.sram_mbytes,
+        "area_mm2": spec.area_mm2,
+        "technology_nm": spec.technology_nm,
+        "power_w": spec.power_w,
+        "dram": f"{spec.dram_name} {spec.dram_bandwidth_gbps} GB/s",
+        "fps": spec.fps,
+        "energy_eff_fps_per_w": spec.fps_per_watt,
+        "area_eff_fps_per_mm2": spec.fps_per_mm2,
+    }
+
+
+def comparison_table(
+    accelerator: SpNeRFAccelerator,
+    workloads: Iterable[FrameWorkload],
+) -> AcceleratorComparison:
+    """Build Table II from simulated SpNeRF results and published baselines."""
+    reports = [accelerator.simulate_frame(w) for w in workloads]
+    mean_fps = float(np.mean([r.fps for r in reports])) if reports else 0.0
+    mean_power = float(np.mean([r.power_w for r in reports])) if reports else 0.0
+    area = accelerator.area_model.total_mm2()
+    sram_mb = accelerator.area_model.total_sram_mbytes()
+    dram = accelerator.config.dram
+
+    spnerf_row = {
+        "accelerator": "SpNeRF (Ours)",
+        "sram_mb": sram_mb,
+        "area_mm2": area,
+        "technology_nm": 28,
+        "power_w": mean_power,
+        "dram": f"{dram.name.upper()} {dram.peak_bandwidth_gbps} GB/s",
+        "fps": mean_fps,
+        "energy_eff_fps_per_w": mean_fps / mean_power if mean_power > 0 else 0.0,
+        "area_eff_fps_per_mm2": mean_fps / area if area > 0 else 0.0,
+    }
+    return AcceleratorComparison(
+        rows=[_accelerator_row(RT_NERF_EDGE), _accelerator_row(NEUREX_EDGE), spnerf_row]
+    )
+
+
+def area_power_breakdowns(
+    accelerator: SpNeRFAccelerator,
+    workload: FrameWorkload,
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 9: area breakdown (mm^2) and power breakdown (W) for one workload."""
+    report: PerformanceReport = accelerator.simulate_frame(workload)
+    area = accelerator.area_model.breakdown()
+    power = report.energy.power_w
+    total_area = sum(area.values())
+    total_power = sum(power.values())
+    return {
+        "area_mm2": area,
+        "area_fraction": {k: v / total_area for k, v in area.items()} if total_area else {},
+        "power_w": power,
+        "power_fraction": {k: v / total_power for k, v in power.items()} if total_power else {},
+    }

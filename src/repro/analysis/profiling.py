@@ -1,0 +1,118 @@
+"""Profiling studies (Table I, Fig. 2).
+
+* :func:`platform_table` — the Table I platform-specification table.
+* :func:`runtime_distribution_study` — Fig. 2(a): the fraction of VQRF
+  rendering time spent on memory access vs computation on A100 / ONX / XNX.
+* :func:`sparsity_study` — Fig. 2(b): non-zero fraction of each scene's voxel
+  grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.datasets.synthetic import SyntheticScene
+from repro.hardware.baselines import GPUPlatformModel
+from repro.hardware.platforms import PLATFORMS
+from repro.hardware.workload import FrameWorkload, workload_from_scene
+
+__all__ = [
+    "platform_table",
+    "RuntimeDistribution",
+    "runtime_distribution_study",
+    "sparsity_study",
+]
+
+
+def platform_table() -> List[Dict[str, object]]:
+    """Rows of Table I (platform specifications)."""
+    rows = []
+    for key in ("a100", "onx", "xnx"):
+        spec = PLATFORMS[key]
+        rows.append(
+            {
+                "platform": spec.name,
+                "technology_nm": spec.technology_nm,
+                "power_w": spec.power_w,
+                "dram": spec.dram.name,
+                "dram_bandwidth_gbps": spec.dram.peak_bandwidth_gbps,
+                "l2_cache_kb": spec.l2_cache_bytes // 1024,
+                "fp32_tflops": spec.fp32_tflops,
+                "fp16_tflops": spec.fp16_tflops,
+            }
+        )
+    return rows
+
+
+@dataclass
+class RuntimeDistribution:
+    """Fig. 2(a): averaged VQRF time split per platform."""
+
+    platform: str
+    memory_fraction: float
+    compute_fraction: float
+    other_fraction: float
+    mean_fps: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "platform": self.platform,
+            "memory_fraction": self.memory_fraction,
+            "compute_fraction": self.compute_fraction,
+            "other_fraction": self.other_fraction,
+            "mean_fps": self.mean_fps,
+        }
+
+
+def runtime_distribution_study(
+    workloads: Iterable[FrameWorkload],
+    platform_keys: Iterable[str] = ("a100", "onx", "xnx"),
+) -> List[RuntimeDistribution]:
+    """Average the per-scene VQRF time distribution over each platform."""
+    workloads = list(workloads)
+    results = []
+    for key in platform_keys:
+        model = GPUPlatformModel.by_name(key)
+        memory, compute, other, fps = 0.0, 0.0, 0.0, 0.0
+        for workload in workloads:
+            breakdown = model.frame_breakdown(workload)
+            dist = breakdown.time_distribution()
+            memory += dist["memory"]
+            compute += dist["compute"]
+            other += dist["other"]
+            fps += breakdown.fps
+        n = max(len(workloads), 1)
+        results.append(
+            RuntimeDistribution(
+                platform=PLATFORMS[key].name,
+                memory_fraction=memory / n,
+                compute_fraction=compute / n,
+                other_fraction=other / n,
+                mean_fps=fps / n,
+            )
+        )
+    return results
+
+
+def sparsity_study(
+    scenes: Iterable[SyntheticScene],
+) -> List[Dict[str, float]]:
+    """Fig. 2(b): per-scene occupancy (non-zero fraction) and sparsity."""
+    rows = []
+    for scene in scenes:
+        occupancy = scene.occupancy_fraction()
+        rows.append(
+            {
+                "scene": scene.name,
+                "nonzero_fraction": occupancy,
+                "sparsity": 1.0 - occupancy,
+                "num_nonzero": float(scene.sparse_grid.num_points),
+            }
+        )
+    return rows
+
+
+def default_workloads(scenes: Iterable[SyntheticScene]) -> List[FrameWorkload]:
+    """Analytic workloads for a set of scenes (used by quick profiling runs)."""
+    return [workload_from_scene(scene) for scene in scenes]

@@ -1,0 +1,59 @@
+"""Plain-text table formatting for benchmark output.
+
+The benchmark harnesses print the regenerated tables/figure series so a run's
+stdout can be compared side by side with the paper.  Only standard library
+string formatting is used.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Union
+
+__all__ = ["format_table", "format_mapping"]
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell, precision: int) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 10 ** (-precision)):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    precision: int = 2,
+    title: str = "",
+) -> str:
+    """Render rows as an aligned text table."""
+    str_rows: List[List[str]] = [
+        [_format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for col, cell in enumerate(row):
+            widths[col] = max(widths[col], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_mapping(mapping: Mapping[str, Cell], precision: int = 2, title: str = "") -> str:
+    """Render a flat mapping as a two-column table."""
+    return format_table(
+        ["key", "value"],
+        [(key, value) for key, value in mapping.items()],
+        precision=precision,
+        title=title,
+    )

@@ -1,0 +1,170 @@
+"""Regenerate the paper's full evaluation in one command.
+
+``python -m repro.analysis.run_all [--resolution 96] [--output report.txt]``
+
+Builds all eight scenes, compresses them with VQRF, preprocesses them for
+SpNeRF and prints every table / figure series of the evaluation section
+(Table I, Fig. 2, Fig. 6, Fig. 7, Fig. 8, Fig. 9, Table II).  This is the
+same code the benchmark harnesses call; the benchmarks just add assertions
+and persistence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.analysis.comparison import (
+    area_power_breakdowns,
+    compare_against_edge_platforms,
+    comparison_table,
+)
+from repro.analysis.memory import average_reduction, memory_reduction_study
+from repro.analysis.profiling import platform_table, runtime_distribution_study, sparsity_study
+from repro.analysis.quality import psnr_study
+from repro.analysis.reporting import format_table
+from repro.analysis.sweep import hash_table_size_sweep, subgrid_sweep
+from repro.core.config import SpNeRFConfig
+from repro.core.pipeline import SpNeRFBundle, build_spnerf_from_scene
+from repro.datasets.scenes import SCENE_NAMES
+from repro.datasets.synthetic import load_scene
+from repro.hardware.accelerator import SpNeRFAccelerator
+from repro.hardware.workload import workload_from_render
+
+__all__ = ["run_evaluation", "main"]
+
+
+def _build_bundles(resolution: int, image_size: int, verbose: bool) -> List[SpNeRFBundle]:
+    bundles = []
+    for name in SCENE_NAMES:
+        if verbose:
+            print(f"  building {name} ...", file=sys.stderr)
+        scene = load_scene(
+            name, resolution=resolution, image_size=image_size, num_views=2, num_samples=96
+        )
+        bundles.append(build_spnerf_from_scene(scene, SpNeRFConfig(), kmeans_iterations=4))
+    return bundles
+
+
+def run_evaluation(
+    resolution: int = 96,
+    image_size: int = 100,
+    num_pixels: int = 2000,
+    sweep_scene: str = "lego",
+    verbose: bool = True,
+) -> str:
+    """Run every experiment and return the combined text report."""
+    sections: List[str] = []
+
+    bundles = _build_bundles(resolution, image_size, verbose)
+    scenes = [b.scene for b in bundles]
+    workloads = [workload_from_render(b, probe_resolution=48) for b in bundles]
+    accelerator = SpNeRFAccelerator()
+
+    # Table I ----------------------------------------------------------------
+    rows = platform_table()
+    sections.append(format_table(
+        ["platform", "tech (nm)", "power (W)", "DRAM", "BW (GB/s)", "L2 (KB)", "FP16 (TFLOPS)"],
+        [[r["platform"], r["technology_nm"], r["power_w"], r["dram"],
+          r["dram_bandwidth_gbps"], r["l2_cache_kb"], r["fp16_tflops"]] for r in rows],
+        title="Table I: profiling computing platforms",
+    ))
+
+    # Fig. 2 -----------------------------------------------------------------
+    dist = runtime_distribution_study(workloads)
+    sections.append(format_table(
+        ["platform", "memory frac", "compute frac", "mean FPS"],
+        [[r.platform, r.memory_fraction, r.compute_fraction, r.mean_fps] for r in dist],
+        precision=3, title="Fig. 2(a): VQRF time distribution",
+    ))
+    sparsity = sparsity_study(scenes)
+    sections.append(format_table(
+        ["scene", "non-zero fraction"],
+        [[r["scene"], r["nonzero_fraction"]] for r in sparsity],
+        precision=4, title="Fig. 2(b): voxel grid sparsity",
+    ))
+
+    # Fig. 6 -----------------------------------------------------------------
+    memory = memory_reduction_study(bundles)
+    sections.append(format_table(
+        ["scene", "VQRF restored (MB)", "SpNeRF (MB)", "reduction (x)"],
+        [[m.scene, m.vqrf_restored_bytes / 1e6, m.spnerf_bytes / 1e6, m.reduction_factor]
+         for m in memory] + [["average", "", "", average_reduction(memory)]],
+        title=f"Fig. 6(a): memory size reduction ({resolution}^3 grids)",
+    ))
+    quality = psnr_study(bundles, num_pixels=num_pixels)
+    sections.append(format_table(
+        ["scene", "VQRF", "SpNeRF pre-mask", "SpNeRF post-mask"],
+        [[q.scene, q.psnr_vqrf, q.psnr_spnerf_unmasked, q.psnr_spnerf_masked] for q in quality],
+        title="Fig. 6(b): PSNR (dB)",
+    ))
+
+    # Fig. 7 -----------------------------------------------------------------
+    sweep_bundle = next(b for b in bundles if b.scene.name == sweep_scene)
+    fig7a = subgrid_sweep(sweep_bundle, hash_table_size=16384, num_pixels=num_pixels)
+    sections.append(format_table(
+        ["subgrids", "PSNR (dB)"],
+        [[int(r["num_subgrids"]), r["psnr"]] for r in fig7a],
+        title=f"Fig. 7(a): PSNR vs subgrid number ({sweep_scene})",
+    ))
+    fig7b = hash_table_size_sweep(sweep_bundle, num_pixels=num_pixels)
+    sections.append(format_table(
+        ["table size", "PSNR (dB)"],
+        [[int(r["hash_table_size"]), r["psnr"]] for r in fig7b],
+        title=f"Fig. 7(b): PSNR vs hash table size ({sweep_scene})",
+    ))
+
+    # Fig. 8 -----------------------------------------------------------------
+    comparisons = compare_against_edge_platforms(accelerator, workloads)
+    sections.append(format_table(
+        ["scene", "SpNeRF FPS", "speedup vs XNX", "speedup vs ONX",
+         "energy eff vs XNX", "energy eff vs ONX"],
+        [[c.scene, c.spnerf_fps, c.speedup_vs_xnx, c.speedup_vs_onx,
+          c.energy_eff_vs_xnx, c.energy_eff_vs_onx] for c in comparisons],
+        title="Fig. 8: speedup and energy efficiency vs edge GPUs",
+    ))
+
+    # Fig. 9 + Table II --------------------------------------------------------
+    breakdowns = area_power_breakdowns(accelerator, workloads[0])
+    sections.append(format_table(
+        ["component", "area (mm^2)"],
+        sorted(breakdowns["area_mm2"].items(), key=lambda kv: -kv[1]),
+        precision=3, title="Fig. 9(a): area breakdown",
+    ))
+    sections.append(format_table(
+        ["component", "power (W)"],
+        sorted(breakdowns["power_w"].items(), key=lambda kv: -kv[1]),
+        precision=3, title="Fig. 9(b): power breakdown",
+    ))
+    table2 = comparison_table(accelerator, workloads)
+    sections.append(format_table(
+        ["accelerator", "SRAM (MB)", "area (mm^2)", "power (W)", "FPS", "FPS/W", "FPS/mm^2"],
+        [[r["accelerator"], r["sram_mb"], r["area_mm2"], r["power_w"], r["fps"],
+          r["energy_eff_fps_per_w"], r["area_eff_fps_per_mm2"]] for r in table2.rows],
+        title="Table II: comparison with prior accelerators",
+    ))
+
+    return "\n\n".join(sections)
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--resolution", type=int, default=96)
+    parser.add_argument("--image-size", type=int, default=100)
+    parser.add_argument("--num-pixels", type=int, default=2000)
+    parser.add_argument("--output", default=None, help="write the report to this file")
+    args = parser.parse_args(argv)
+
+    report = run_evaluation(
+        resolution=args.resolution, image_size=args.image_size, num_pixels=args.num_pixels
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

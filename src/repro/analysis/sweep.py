@@ -1,0 +1,111 @@
+"""Design-space sweeps (Fig. 7).
+
+Fig. 7(a) varies the number of subgrids at a fixed 16k hash table; Fig. 7(b)
+varies the hash table size at 64 subgrids.  PSNR rises quickly and then
+saturates — the knee is where the per-subgrid table stops being the collision
+bottleneck.  The paper picks 64 subgrids and 32k entries from these curves.
+
+The sweeps reuse one VQRF-compressed model per scene and only re-run SpNeRF
+preprocessing + a pixel-subset render per configuration, so a full sweep over
+a scene takes seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.quality import PSNR_CAP_DB, render_pixel_subset
+from repro.core.config import SpNeRFConfig
+from repro.core.pipeline import SpNeRFBundle, SpNeRFField, build_spnerf_from_scene
+from repro.nerf.metrics import psnr
+
+__all__ = [
+    "DEFAULT_SUBGRID_COUNTS",
+    "DEFAULT_TABLE_SIZES",
+    "sweep_point",
+    "subgrid_sweep",
+    "hash_table_size_sweep",
+]
+
+#: Subgrid counts swept in Fig. 7(a).
+DEFAULT_SUBGRID_COUNTS: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128)
+
+#: Hash-table sizes swept in Fig. 7(b).
+DEFAULT_TABLE_SIZES: Sequence[int] = (512, 1024, 2048, 4096, 8192, 16384, 32768)
+
+
+def sweep_point(
+    bundle: SpNeRFBundle,
+    config: SpNeRFConfig,
+    pixel_indices: np.ndarray,
+    reference: np.ndarray,
+    camera_index: int = 0,
+) -> Dict[str, float]:
+    """Evaluate one (subgrid count, table size) configuration.
+
+    Returns PSNR (with bitmap masking), the hash-table collision rate and the
+    SpNeRF memory footprint — the three quantities the Fig. 7 discussion ties
+    together.
+    """
+    rebuilt = build_spnerf_from_scene(
+        bundle.scene, config, vqrf_model=bundle.vqrf_model
+    )
+    field = SpNeRFField(rebuilt.spnerf_model, bundle.scene.mlp, use_bitmap_masking=True)
+    pixels = render_pixel_subset(field, bundle, pixel_indices, camera_index)
+    value = min(psnr(pixels, reference), PSNR_CAP_DB)
+    return {
+        "num_subgrids": float(config.num_subgrids),
+        "hash_table_size": float(config.hash_table_size),
+        "psnr": value,
+        "collision_rate": rebuilt.spnerf_model.hash_tables.collision_rate,
+        "memory_bytes": float(rebuilt.spnerf_model.memory_bytes()),
+    }
+
+
+def _pixel_subset(bundle: SpNeRFBundle, num_pixels: int, camera_index: int, seed: int):
+    camera = bundle.scene.cameras[camera_index]
+    rng = np.random.default_rng(seed)
+    count = min(num_pixels, camera.num_pixels)
+    pixel_indices = np.sort(rng.choice(camera.num_pixels, size=count, replace=False))
+    reference = bundle.scene.reference_pixels(camera_index, pixel_indices)
+    return pixel_indices, reference
+
+
+def subgrid_sweep(
+    bundle: SpNeRFBundle,
+    subgrid_counts: Iterable[int] = DEFAULT_SUBGRID_COUNTS,
+    hash_table_size: int = 16384,
+    num_pixels: int = 1500,
+    camera_index: int = 0,
+    seed: int = 0,
+    base_config: Optional[SpNeRFConfig] = None,
+) -> List[Dict[str, float]]:
+    """Fig. 7(a): PSNR vs number of subgrids at a fixed hash-table size."""
+    base = base_config or bundle.spnerf_model.config
+    pixel_indices, reference = _pixel_subset(bundle, num_pixels, camera_index, seed)
+    rows = []
+    for count in subgrid_counts:
+        config = base.with_updates(num_subgrids=int(count), hash_table_size=hash_table_size)
+        rows.append(sweep_point(bundle, config, pixel_indices, reference, camera_index))
+    return rows
+
+
+def hash_table_size_sweep(
+    bundle: SpNeRFBundle,
+    table_sizes: Iterable[int] = DEFAULT_TABLE_SIZES,
+    num_subgrids: int = 64,
+    num_pixels: int = 1500,
+    camera_index: int = 0,
+    seed: int = 0,
+    base_config: Optional[SpNeRFConfig] = None,
+) -> List[Dict[str, float]]:
+    """Fig. 7(b): PSNR vs hash-table size at a fixed number of subgrids."""
+    base = base_config or bundle.spnerf_model.config
+    pixel_indices, reference = _pixel_subset(bundle, num_pixels, camera_index, seed)
+    rows = []
+    for size in table_sizes:
+        config = base.with_updates(num_subgrids=num_subgrids, hash_table_size=int(size))
+        rows.append(sweep_point(bundle, config, pixel_indices, reference, camera_index))
+    return rows

@@ -1,0 +1,59 @@
+"""SpNeRF core: the paper's contribution.
+
+The flow (paper Fig. 1 and Fig. 3):
+
+1. **Preprocessing** (offline, :mod:`~repro.core.preprocessing`): take the
+   VQRF-compressed scene, partition its non-zero voxels into ``K`` subgrids by
+   x coordinate, and build one hash table per subgrid mapping the Instant-NGP
+   spatial hash of a vertex position to that vertex's unified 18-bit storage
+   index and density.  Also build the 1-bit-per-voxel occupancy bitmap.
+2. **Online decoding** (per ray sample, :mod:`~repro.core.decoding`): hash the
+   eight surrounding vertices, fetch their indices/densities from the subgrid
+   hash table, resolve the index through the unified address space
+   (:mod:`~repro.core.addressing` — codebook below 4096, INT8 true voxel grid
+   above) and mask out values fetched for empty voxels using the bitmap
+   (:mod:`~repro.core.bitmap`).
+3. **Rendering** (:mod:`~repro.core.pipeline`): trilinear interpolation of the
+   decoded vertices, the 39-wide MLP, and standard volume rendering — sharing
+   every downstream stage with the reference and VQRF pipelines so PSNR
+   differences isolate the hash/bitmap mechanism.
+"""
+
+from repro.core.addressing import (
+    CODEBOOK_REGION_SIZE,
+    EMPTY_ENTRY,
+    UNIFIED_ADDRESS_BITS,
+    UnifiedAddressSpace,
+)
+from repro.core.bitmap import OccupancyBitmap
+from repro.core.config import SpNeRFConfig
+from repro.core.hash_mapping import (
+    HASH_PRIMES,
+    SubgridHashTables,
+    assign_subgrids,
+    build_hash_tables,
+    spatial_hash,
+)
+from repro.core.decoding import DecodeStats, OnlineDecoder
+from repro.core.preprocessing import SpNeRFModel, preprocess
+from repro.core.pipeline import SpNeRFField, build_spnerf_from_scene
+
+__all__ = [
+    "SpNeRFConfig",
+    "HASH_PRIMES",
+    "spatial_hash",
+    "assign_subgrids",
+    "build_hash_tables",
+    "SubgridHashTables",
+    "OccupancyBitmap",
+    "UNIFIED_ADDRESS_BITS",
+    "CODEBOOK_REGION_SIZE",
+    "EMPTY_ENTRY",
+    "UnifiedAddressSpace",
+    "SpNeRFModel",
+    "preprocess",
+    "OnlineDecoder",
+    "DecodeStats",
+    "SpNeRFField",
+    "build_spnerf_from_scene",
+]

@@ -1,0 +1,93 @@
+"""Unified 18-bit addressing of the codebook and the true voxel grid.
+
+The hash-table entry stores a single 18-bit index.  Values below the codebook
+size (4096) address the color codebook; values at or above it address rows of
+the INT8 true voxel grid (offset by the codebook size).  The Hash Mapping Unit
+performs exactly this comparison in hardware; :class:`UnifiedAddressSpace`
+is the software reference for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "UNIFIED_ADDRESS_BITS",
+    "CODEBOOK_REGION_SIZE",
+    "EMPTY_ENTRY",
+    "UnifiedAddressSpace",
+]
+
+#: Width of the unified index in bits (paper Section III-B / IV-B).
+UNIFIED_ADDRESS_BITS = 18
+
+#: Default size of the codebook region (4096 x 12 color codebook).
+CODEBOOK_REGION_SIZE = 4096
+
+#: Sentinel stored in never-written hash-table slots.
+EMPTY_ENTRY = -1
+
+
+@dataclass(frozen=True)
+class UnifiedAddressSpace:
+    """Encode/decode helpers for the shared codebook / true-grid index space.
+
+    Parameters
+    ----------
+    codebook_size:
+        Boundary between the codebook region ``[0, codebook_size)`` and the
+        true-voxel-grid region ``[codebook_size, 2**address_bits)``.
+    address_bits:
+        Total index width (18 in the paper).
+    """
+
+    codebook_size: int = CODEBOOK_REGION_SIZE
+    address_bits: int = UNIFIED_ADDRESS_BITS
+
+    def __post_init__(self) -> None:
+        if self.codebook_size < 0:
+            raise ValueError("codebook_size must be non-negative")
+        if self.codebook_size >= self.capacity:
+            raise ValueError("codebook_size must fit within the address space")
+
+    @property
+    def capacity(self) -> int:
+        """Total number of addressable entries."""
+        return 1 << self.address_bits
+
+    @property
+    def true_grid_capacity(self) -> int:
+        """Entries available in the true-voxel-grid region."""
+        return self.capacity - self.codebook_size
+
+    # ------------------------------------------------------------------
+    def encode_codebook(self, codebook_indices: np.ndarray) -> np.ndarray:
+        """Unified index for codebook entries (identity, range-checked)."""
+        idx = np.asarray(codebook_indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.codebook_size):
+            raise ValueError("codebook index out of range")
+        return idx.astype(np.int32)
+
+    def encode_true_grid(self, rows: np.ndarray) -> np.ndarray:
+        """Unified index for true-voxel-grid rows (offset by the codebook size)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size and (rows.min() < 0 or rows.max() >= self.true_grid_capacity):
+            raise ValueError("true voxel grid row exceeds the 18-bit address space")
+        return (rows + self.codebook_size).astype(np.int32)
+
+    def decode(self, unified: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Split unified indices into (is_codebook, local_index).
+
+        ``local_index`` is the codebook entry for codebook addresses and the
+        true-grid row for the rest.  Empty entries (negative) decode to the
+        codebook region with local index 0; callers mask them separately.
+        """
+        idx = np.asarray(unified, dtype=np.int64)
+        if idx.size and idx.max() >= self.capacity:
+            raise ValueError("unified index exceeds the address space")
+        is_codebook = idx < self.codebook_size
+        local = np.where(is_codebook, np.maximum(idx, 0), idx - self.codebook_size)
+        return is_codebook, local.astype(np.int64)

@@ -1,0 +1,84 @@
+"""SpNeRF algorithm configuration.
+
+The paper's design-space exploration (Fig. 7) settles on 64 subgrids and a
+32k-entry hash table per subgrid; the codebook is 4096 x 12 and the unified
+address space is 18 bits wide.  :class:`SpNeRFConfig` gathers those knobs so
+the sweeps and ablations can vary them from one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SpNeRFConfig"]
+
+
+@dataclass(frozen=True)
+class SpNeRFConfig:
+    """Hyper-parameters of the SpNeRF preprocessing / decoding pipeline.
+
+    Parameters
+    ----------
+    num_subgrids:
+        Number of x-axis partitions ``K`` (paper default 64).
+    hash_table_size:
+        Entries ``T`` per subgrid hash table (paper default 32k = 32768).
+    codebook_size:
+        Entries in the color codebook (4096); also the boundary of the
+        codebook region in the unified address space.
+    feature_dim:
+        Color-feature channels (12).
+    address_bits:
+        Width of the unified index (18 bits).
+    use_bitmap_masking:
+        Whether online decoding applies the occupancy bitmap (the paper's
+        accuracy-recovery mechanism; switchable for the Fig. 6(b) ablation).
+    hash_entry_bytes:
+        Bytes per hash-table entry: an 18-bit index plus an FP16 density packed
+        into 4 bytes (Index and Density Buffer layout).
+    density_bytes, index_bytes:
+        Storage width of densities / indices when they appear standalone.
+    """
+
+    num_subgrids: int = 64
+    hash_table_size: int = 32768
+    codebook_size: int = 4096
+    feature_dim: int = 12
+    address_bits: int = 18
+    use_bitmap_masking: bool = True
+    hash_entry_bytes: int = 4
+    density_bytes: int = 2
+    index_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_subgrids < 1:
+            raise ValueError("num_subgrids must be positive")
+        if self.hash_table_size < 1:
+            raise ValueError("hash_table_size must be positive")
+        if self.codebook_size < 1:
+            raise ValueError("codebook_size must be positive")
+        if self.address_bits < 1 or self.address_bits > 32:
+            raise ValueError("address_bits must be in [1, 32]")
+        if self.codebook_size >= (1 << self.address_bits):
+            raise ValueError("codebook must fit inside the unified address space")
+
+    @property
+    def address_capacity(self) -> int:
+        """Total addressable entries (codebook + true voxel grid)."""
+        return 1 << self.address_bits
+
+    @property
+    def true_grid_capacity(self) -> int:
+        """Addresses available to the true voxel grid region."""
+        return self.address_capacity - self.codebook_size
+
+    @property
+    def total_hash_entries(self) -> int:
+        """Hash-table entries summed over all subgrids."""
+        return self.num_subgrids * self.hash_table_size
+
+    def with_updates(self, **kwargs) -> "SpNeRFConfig":
+        """Return a copy with selected fields replaced (sweep helper)."""
+        from dataclasses import replace
+
+        return replace(self, **kwargs)

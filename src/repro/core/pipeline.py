@@ -1,0 +1,154 @@
+"""The end-to-end SpNeRF rendering pipeline.
+
+:class:`SpNeRFField` is the SpNeRF counterpart of the dense reference field
+and the VQRF restore field: ray samples are mapped to grid coordinates, the
+eight surrounding vertices are decoded **online** through the hash tables and
+bitmap (no dense grid ever exists), trilinearly interpolated (Eq. 2 weights),
+and pushed through the 39-wide decoder MLP.  Volume rendering is shared with
+the other pipelines via :class:`~repro.nerf.renderer.VolumetricRenderer`.
+
+:func:`build_spnerf_from_scene` is the convenience used by examples, analysis
+drivers and benchmarks: scene -> VQRF compression -> SpNeRF preprocessing ->
+renderable field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import SpNeRFConfig
+from repro.core.decoding import OnlineDecoder
+from repro.core.preprocessing import SpNeRFModel, preprocess
+from repro.datasets.synthetic import SyntheticScene
+from repro.grid.interpolation import trilinear_vertices_and_weights
+from repro.nerf.encoding import positional_encoding
+from repro.nerf.mlp import MLP
+from repro.nerf.renderer import RenderStats
+from repro.vqrf.model import VQRFModel, compress_scene
+
+__all__ = ["SpNeRFField", "SpNeRFBundle", "build_spnerf_from_scene"]
+
+
+class SpNeRFField:
+    """Radiance field backed by SpNeRF online decoding."""
+
+    def __init__(
+        self,
+        model: SpNeRFModel,
+        mlp: MLP,
+        num_view_frequencies: int = 4,
+        use_bitmap_masking: Optional[bool] = None,
+    ) -> None:
+        self.model = model
+        self.mlp = mlp
+        self.num_view_frequencies = num_view_frequencies
+        self.decoder = OnlineDecoder(model, use_bitmap_masking=use_bitmap_masking)
+        self.last_stats = RenderStats()
+
+    # ------------------------------------------------------------------
+    def query(self, points: np.ndarray, view_dirs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        points = np.asarray(points, dtype=np.float64)
+        view_dirs = np.asarray(view_dirs, dtype=np.float64)
+        spec = self.model.spec
+        n = points.shape[0]
+
+        density = np.zeros(n, dtype=np.float64)
+        rgb = np.zeros((n, 3), dtype=np.float64)
+        inside = spec.contains(points)
+        if not np.any(inside):
+            self.last_stats = RenderStats(num_samples=n)
+            return density, rgb
+
+        grid_coords = spec.world_to_grid(points[inside])
+        vertices, weights = trilinear_vertices_and_weights(grid_coords, spec.resolution)
+        flat_vertices = vertices.reshape(-1, 3)
+
+        vertex_density, vertex_features = self.decoder.decode_vertices(flat_vertices)
+        k = vertices.shape[0]
+        vertex_density = vertex_density.reshape(k, 8)
+        vertex_features = vertex_features.reshape(k, 8, -1)
+
+        interp_density = np.einsum("nk,nk->n", weights, vertex_density)
+        interp_features = np.einsum("nk,nkc->nc", weights, vertex_features)
+
+        # Empty samples (all eight decoded vertices zero) skip the MLP — this
+        # is the sparsity the accelerator exploits, so the software model
+        # mirrors it and reports the active-sample count to the hardware model.
+        active = (interp_density > 0.0) | np.any(interp_features != 0.0, axis=-1)
+        colors = np.zeros((grid_coords.shape[0], 3), dtype=np.float64)
+        if np.any(active):
+            encoded_dirs = positional_encoding(
+                view_dirs[inside][active], self.num_view_frequencies
+            )
+            mlp_in = np.concatenate([interp_features[active], encoded_dirs], axis=-1)
+            colors[active] = self.mlp.forward(mlp_in)
+
+        density[inside] = interp_density
+        rgb[inside] = colors
+
+        self.last_stats = RenderStats(
+            num_samples=n,
+            num_active_samples=int(active.sum()),
+            num_vertex_lookups=int(inside.sum()) * 8,
+        )
+        return density, rgb
+
+
+@dataclass
+class SpNeRFBundle:
+    """Everything produced when SpNeRF is applied to one scene."""
+
+    scene: SyntheticScene
+    vqrf_model: VQRFModel
+    spnerf_model: SpNeRFModel
+    field: SpNeRFField
+
+
+def build_spnerf_from_scene(
+    scene: SyntheticScene,
+    config: SpNeRFConfig = SpNeRFConfig(),
+    prune_fraction: float = 0.05,
+    keep_fraction: float = 0.30,
+    kmeans_iterations: int = 6,
+    seed: int = 0,
+    use_bitmap_masking: Optional[bool] = None,
+    vqrf_model: Optional[VQRFModel] = None,
+) -> SpNeRFBundle:
+    """Compress a scene with VQRF and preprocess it for SpNeRF.
+
+    Parameters
+    ----------
+    scene:
+        A loaded :class:`~repro.datasets.synthetic.SyntheticScene`.
+    config:
+        SpNeRF hyper-parameters (subgrid count, table size, ...).
+    prune_fraction, keep_fraction, kmeans_iterations, seed:
+        Forwarded to VQRF compression (ignored when ``vqrf_model`` is given).
+    use_bitmap_masking:
+        Optional override for the decoder's masking switch.
+    vqrf_model:
+        Reuse an already-compressed model (avoids re-running k-means in
+        sweeps that only vary SpNeRF parameters).
+    """
+    if vqrf_model is None:
+        vqrf_model = compress_scene(
+            scene.sparse_grid,
+            codebook_size=config.codebook_size,
+            prune_fraction=prune_fraction,
+            keep_fraction=keep_fraction,
+            kmeans_iterations=kmeans_iterations,
+            seed=seed,
+        )
+    spnerf_model = preprocess(vqrf_model, config)
+    field = SpNeRFField(
+        spnerf_model,
+        scene.mlp,
+        num_view_frequencies=scene.render_config.num_view_frequencies,
+        use_bitmap_masking=use_bitmap_masking,
+    )
+    return SpNeRFBundle(
+        scene=scene, vqrf_model=vqrf_model, spnerf_model=spnerf_model, field=field
+    )

@@ -1,0 +1,159 @@
+"""Hash-mapping based preprocessing (paper Section III-A).
+
+``preprocess`` turns a VQRF-compressed scene into the :class:`SpNeRFModel`
+the accelerator consumes:
+
+1. collect the non-zero voxel positions ``P_nz`` from the VQRF model,
+2. partition them into ``K`` subgrids by x coordinate,
+3. insert each voxel into its subgrid's hash table (Eq. 1), storing the
+   unified 18-bit index of its payload (codebook entry or true-grid row) and
+   its density,
+4. build the 1-bit-per-vertex occupancy bitmap used for collision masking.
+
+The resulting model's memory breakdown — hash tables + bitmap + codebook +
+INT8 true voxel grid — is what Fig. 6(a) compares against VQRF's restored
+dense grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.core.addressing import UnifiedAddressSpace
+from repro.core.bitmap import OccupancyBitmap
+from repro.core.config import SpNeRFConfig
+from repro.core.hash_mapping import SubgridHashTables, build_hash_tables
+from repro.grid.quantization import QuantizedTensor
+from repro.grid.voxel_grid import GridSpec
+from repro.vqrf.model import VQRFModel
+
+__all__ = ["SpNeRFModel", "preprocess"]
+
+
+@dataclass
+class SpNeRFModel:
+    """Everything SpNeRF stores for one scene after preprocessing.
+
+    Attributes
+    ----------
+    config:
+        The algorithm configuration used to build the model.
+    spec:
+        Grid geometry of the scene.
+    hash_tables:
+        Per-subgrid hash tables (index + density per entry).
+    bitmap:
+        Bit-packed occupancy of the non-zero voxels.
+    address_space:
+        The unified 18-bit address-space mapping.
+    codebook:
+        ``(codebook_size, feature_dim)`` float32 color codebook.
+    true_features:
+        INT8 true voxel grid (features of the most important voxels) plus its
+        de-quantization scale.
+    """
+
+    config: SpNeRFConfig
+    spec: GridSpec
+    hash_tables: SubgridHashTables
+    bitmap: OccupancyBitmap
+    address_space: UnifiedAddressSpace
+    codebook: np.ndarray
+    true_features: QuantizedTensor
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nonzero(self) -> int:
+        """Number of non-zero voxels inserted during preprocessing."""
+        return self.hash_tables.num_inserted
+
+    @property
+    def feature_dim(self) -> int:
+        return int(self.codebook.shape[1])
+
+    # ------------------------------------------------------------------
+    def memory_breakdown(self) -> Dict[str, int]:
+        """Byte-level breakdown of SpNeRF's rendering-time memory footprint.
+
+        Components follow the paper's storage plan: the Index-and-Density
+        buffer (hash tables), the bitmap, the FP16 color codebook and the INT8
+        true voxel grid.
+        """
+        cfg = self.config
+        sizes = {
+            "hash_tables": self.hash_tables.memory_bytes(cfg.hash_entry_bytes),
+            "bitmap": self.bitmap.memory_bytes,
+            "codebook": int(self.codebook.shape[0] * self.codebook.shape[1] * 2),
+            "true_voxel_grid": self.true_features.nbytes,
+        }
+        sizes["total"] = sum(sizes.values())
+        return sizes
+
+    def memory_bytes(self) -> int:
+        """Total SpNeRF voxel-grid memory (the Fig. 6(a) quantity)."""
+        return self.memory_breakdown()["total"]
+
+
+def preprocess(model: VQRFModel, config: SpNeRFConfig = SpNeRFConfig()) -> SpNeRFModel:
+    """Run SpNeRF preprocessing on a VQRF-compressed scene.
+
+    Raises
+    ------
+    ValueError
+        If the scene's true-voxel count exceeds the capacity of the unified
+        address space (the paper's 18-bit budget).
+    """
+    if model.spec.feature_dim != config.feature_dim:
+        raise ValueError(
+            f"feature_dim mismatch: model has {model.spec.feature_dim}, "
+            f"config expects {config.feature_dim}"
+        )
+    if model.quantizer.num_entries != config.codebook_size:
+        raise ValueError(
+            f"codebook size mismatch: model has {model.quantizer.num_entries}, "
+            f"config expects {config.codebook_size}"
+        )
+
+    address_space = UnifiedAddressSpace(
+        codebook_size=config.codebook_size, address_bits=config.address_bits
+    )
+    num_true = model.num_true_voxels
+    if num_true > address_space.true_grid_capacity:
+        raise ValueError(
+            f"{num_true} true voxels exceed the {config.address_bits}-bit unified "
+            f"address space (capacity {address_space.true_grid_capacity}); increase "
+            "address_bits or reduce keep_fraction"
+        )
+
+    # Unified storage index per surviving voxel.
+    unified = np.empty(model.num_voxels, dtype=np.int32)
+    vq_mask = ~model.is_true_voxel
+    if np.any(vq_mask):
+        unified[vq_mask] = address_space.encode_codebook(model.codebook_indices[vq_mask])
+    if np.any(model.is_true_voxel):
+        unified[model.is_true_voxel] = address_space.encode_true_grid(
+            model.true_row[model.is_true_voxel]
+        )
+
+    hash_tables = build_hash_tables(
+        positions=model.positions,
+        storage_indices=unified,
+        densities=model.density,
+        resolution=model.spec.resolution,
+        num_subgrids=config.num_subgrids,
+        table_size=config.hash_table_size,
+    )
+    bitmap = OccupancyBitmap(model.spec.resolution, model.positions)
+
+    return SpNeRFModel(
+        config=config,
+        spec=model.spec,
+        hash_tables=hash_tables,
+        bitmap=bitmap,
+        address_space=address_space,
+        codebook=model.quantizer.codebook.copy(),
+        true_features=model.true_features,
+    )

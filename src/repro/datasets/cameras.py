@@ -1,0 +1,80 @@
+"""Camera rigs matching the Synthetic-NeRF acquisition geometry.
+
+Synthetic-NeRF renders 800x800 images with a focal length of ~1111 px from
+cameras placed on a sphere of radius ~4 looking at the origin.  The helpers
+here reproduce that rig at arbitrary resolution (the simulation typically
+renders downscaled images for speed; the hardware model always accounts for
+the full 800x800 workload).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.nerf.rays import Camera, look_at_pose
+
+__all__ = ["synthetic_nerf_camera", "camera_rig"]
+
+# Full-resolution Synthetic-NeRF parameters.
+FULL_WIDTH = 800
+FULL_HEIGHT = 800
+FULL_FOCAL = 1111.111
+CAMERA_RADIUS = 4.0
+
+
+def synthetic_nerf_camera(
+    azimuth_deg: float,
+    elevation_deg: float = 30.0,
+    radius: float = CAMERA_RADIUS,
+    width: int = FULL_WIDTH,
+    height: int = FULL_HEIGHT,
+) -> Camera:
+    """One camera on the Synthetic-NeRF sphere.
+
+    ``width``/``height`` may be reduced for fast simulation; the focal length
+    is scaled proportionally so the field of view stays identical.
+    """
+    azimuth = np.deg2rad(azimuth_deg)
+    elevation = np.deg2rad(elevation_deg)
+    eye = np.array(
+        [
+            radius * np.cos(elevation) * np.cos(azimuth),
+            radius * np.cos(elevation) * np.sin(azimuth),
+            radius * np.sin(elevation),
+        ]
+    )
+    focal = FULL_FOCAL * (width / FULL_WIDTH)
+    return Camera(
+        width=width,
+        height=height,
+        focal=focal,
+        camera_to_world=look_at_pose(eye),
+    )
+
+
+def camera_rig(
+    num_views: int = 8,
+    width: int = FULL_WIDTH,
+    height: int = FULL_HEIGHT,
+    elevation_deg: float = 30.0,
+    radius: float = CAMERA_RADIUS,
+    start_azimuth_deg: float = 0.0,
+) -> List[Camera]:
+    """Evenly spaced cameras around the object at a fixed elevation."""
+    if num_views < 1:
+        raise ValueError("num_views must be positive")
+    cameras = []
+    for view in range(num_views):
+        azimuth = start_azimuth_deg + 360.0 * view / num_views
+        cameras.append(
+            synthetic_nerf_camera(
+                azimuth_deg=azimuth,
+                elevation_deg=elevation_deg,
+                radius=radius,
+                width=width,
+                height=height,
+            )
+        )
+    return cameras

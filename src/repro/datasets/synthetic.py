@@ -1,0 +1,146 @@
+"""Scene bundles: grid + decoder + cameras + reference images.
+
+A :class:`SyntheticScene` packages everything the experiments need for one
+scene: the dense voxel grid, its sparse view, the decoder MLP, a camera rig,
+and lazily rendered reference images (rendered from the dense grid — the
+"ground truth" that VQRF and SpNeRF images are compared against with PSNR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.datasets.cameras import camera_rig
+from repro.datasets.scenes import SCENE_NAMES, build_scene_grid, scene_spec
+from repro.grid.voxel_grid import SparseVoxelGrid, VoxelGrid
+from repro.nerf.mlp import MLP, build_decoder_mlp
+from repro.nerf.rays import Camera
+from repro.nerf.renderer import DenseGridField, RenderConfig, VolumetricRenderer
+
+__all__ = ["SyntheticScene", "load_scene", "load_all_scenes"]
+
+
+@dataclass
+class SyntheticScene:
+    """One procedural Synthetic-NeRF-analog scene, ready to render."""
+
+    name: str
+    grid: VoxelGrid
+    mlp: MLP
+    cameras: List[Camera]
+    render_config: RenderConfig = field(default_factory=RenderConfig)
+    _sparse: Optional[SparseVoxelGrid] = field(default=None, repr=False)
+    _reference_cache: Dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def bbox_min(self):
+        return self.grid.spec.bbox_min
+
+    @property
+    def bbox_max(self):
+        return self.grid.spec.bbox_max
+
+    @property
+    def sparse_grid(self) -> SparseVoxelGrid:
+        """Sparse (non-zero-only) view of the scene grid, computed once."""
+        if self._sparse is None:
+            self._sparse = self.grid.to_sparse()
+        return self._sparse
+
+    def occupancy_fraction(self) -> float:
+        return self.grid.occupancy_fraction()
+
+    # ------------------------------------------------------------------
+    def reference_field(self) -> DenseGridField:
+        """The dense reference radiance field (ground truth)."""
+        return DenseGridField(self.grid, self.mlp, self.render_config.num_view_frequencies)
+
+    def reference_image(self, camera_index: int = 0) -> np.ndarray:
+        """Render (and cache) the ground-truth image for one camera."""
+        if camera_index not in self._reference_cache:
+            renderer = VolumetricRenderer(self.reference_field(), self.render_config)
+            camera = self.cameras[camera_index]
+            self._reference_cache[camera_index] = renderer.render_image(
+                camera, self.bbox_min, self.bbox_max
+            )
+        return self._reference_cache[camera_index]
+
+    def reference_pixels(self, camera_index: int, pixel_indices: np.ndarray) -> np.ndarray:
+        """Render only selected ground-truth pixels (fast PSNR sweeps)."""
+        renderer = VolumetricRenderer(self.reference_field(), self.render_config)
+        camera = self.cameras[camera_index]
+        return renderer.render_pixels(camera, pixel_indices, self.bbox_min, self.bbox_max)
+
+    # ------------------------------------------------------------------
+    def workload_summary(self) -> Dict[str, float]:
+        """Static workload numbers used by the hardware models."""
+        spec = self.grid.spec
+        return {
+            "resolution": float(spec.resolution),
+            "num_vertices": float(spec.num_vertices),
+            "num_nonzero": float(self.sparse_grid.num_points),
+            "occupancy": self.occupancy_fraction(),
+            "feature_dim": float(spec.feature_dim),
+        }
+
+
+def load_scene(
+    name: str,
+    resolution: int = 128,
+    image_size: int = 100,
+    num_views: int = 4,
+    num_samples: int = 64,
+    feature_dim: int = 12,
+    seed: int = 0,
+) -> SyntheticScene:
+    """Build one scene bundle.
+
+    Parameters
+    ----------
+    name:
+        Scene name from :data:`repro.datasets.scenes.SCENE_NAMES`.
+    resolution:
+        Voxel grid resolution (per axis).
+    image_size:
+        Rendered image side length in pixels for the *simulation*; the
+        hardware workload model always accounts for the paper's 800x800.
+    num_views:
+        Number of cameras in the rig.
+    num_samples:
+        Ray samples used when rendering.
+    feature_dim, seed:
+        Forwarded to the grid generator.
+    """
+    scene_spec(name)  # validates the name early
+    grid = build_scene_grid(name, resolution=resolution, feature_dim=feature_dim, seed=seed)
+    mlp = build_decoder_mlp(feature_dim=feature_dim)
+    cameras = camera_rig(num_views=num_views, width=image_size, height=image_size)
+    config = RenderConfig(num_samples=num_samples)
+    return SyntheticScene(name=name, grid=grid, mlp=mlp, cameras=cameras, render_config=config)
+
+
+def load_all_scenes(
+    resolution: int = 128,
+    image_size: int = 100,
+    num_views: int = 4,
+    num_samples: int = 64,
+    feature_dim: int = 12,
+    seed: int = 0,
+) -> List[SyntheticScene]:
+    """Build all eight scene bundles with shared parameters."""
+    return [
+        load_scene(
+            name,
+            resolution=resolution,
+            image_size=image_size,
+            num_views=num_views,
+            num_samples=num_samples,
+            feature_dim=feature_dim,
+            seed=seed,
+        )
+        for name in SCENE_NAMES
+    ]

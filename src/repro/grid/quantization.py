@@ -1,0 +1,62 @@
+"""Symmetric INT8 quantization.
+
+The SpNeRF accelerator stores the "true voxel grid" (the uncompressed,
+high-importance color features) in INT8 in off-chip memory and de-quantizes
+them on-chip by multiplying with a per-tensor scale factor inside the
+Trilinear Interpolation Unit.  This module provides that quantization scheme
+for both the algorithm model and the hardware traffic accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QuantizedTensor", "quantize_int8", "dequantize_int8"]
+
+_INT8_MAX = 127
+
+
+@dataclass
+class QuantizedTensor:
+    """An INT8 tensor plus the scale needed to de-quantize it.
+
+    ``dequantized = values.astype(float) * scale``
+    """
+
+    values: np.ndarray
+    scale: float
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.int8)
+        self.scale = float(self.scale)
+
+    @property
+    def nbytes(self) -> int:
+        """Storage size in bytes (1 byte per element; the scale is negligible)."""
+        return int(self.values.size)
+
+    def dequantize(self) -> np.ndarray:
+        """Recover the floating-point approximation of the original tensor."""
+        return self.values.astype(np.float32) * np.float32(self.scale)
+
+
+def quantize_int8(tensor: np.ndarray) -> QuantizedTensor:
+    """Symmetrically quantize a float tensor to INT8.
+
+    The scale is chosen so the largest absolute value maps to 127.  An
+    all-zero tensor quantizes to all zeros with scale 1.0.
+    """
+    arr = np.asarray(tensor, dtype=np.float32)
+    max_abs = float(np.max(np.abs(arr))) if arr.size else 0.0
+    if max_abs == 0.0:
+        return QuantizedTensor(np.zeros(arr.shape, dtype=np.int8), 1.0)
+    scale = max_abs / _INT8_MAX
+    q = np.clip(np.round(arr / scale), -_INT8_MAX, _INT8_MAX).astype(np.int8)
+    return QuantizedTensor(q, scale)
+
+
+def dequantize_int8(quantized: QuantizedTensor) -> np.ndarray:
+    """Functional wrapper around :meth:`QuantizedTensor.dequantize`."""
+    return quantized.dequantize()

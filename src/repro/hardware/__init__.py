@@ -1,0 +1,73 @@
+"""SpNeRF hardware models.
+
+The paper evaluates a dedicated accelerator (Verilog, synthesised at TSMC
+28 nm, 1 GHz, fed by LPDDR4-3200) with a cycle-level simulator, and compares
+it against two edge GPUs (Jetson Xavier NX, Jetson Orin NX) and two published
+edge accelerators (RT-NeRF.Edge, NeuRex.Edge).  This package rebuilds that
+evaluation stack in Python:
+
+* :mod:`~repro.hardware.tech` — 28 nm technology constants (energy/area per
+  operation, per SRAM/DRAM byte) the models are built from.
+* :mod:`~repro.hardware.dram` — LPDDR4/LPDDR5/HBM2 bandwidth + energy model.
+* :mod:`~repro.hardware.platforms` — Table I platform specifications.
+* :mod:`~repro.hardware.workload` — per-frame workload descriptions extracted
+  from the algorithm-side renderer (rays, samples, active fractions, model
+  memory footprints).
+* :mod:`~repro.hardware.buffers` — double-buffered SRAMs and the
+  block-circulant input-buffer format of Fig. 5.
+* :mod:`~repro.hardware.sgpu` — Grid ID / Bitmap Lookup / Hash Mapping /
+  Trilinear Interpolation unit models.
+* :mod:`~repro.hardware.mlp_unit` — the output-stationary systolic array.
+* :mod:`~repro.hardware.accelerator` — the full SpNeRF accelerator simulator
+  (cycle-level pipeline + analytical mode).
+* :mod:`~repro.hardware.area` / :mod:`~repro.hardware.energy` — area and power
+  breakdowns (Fig. 9, Table II).
+* :mod:`~repro.hardware.baselines` — Jetson/A100 roofline models and the
+  RT-NeRF.Edge / NeuRex.Edge comparators.
+"""
+
+from repro.hardware.accelerator import AcceleratorConfig, PerformanceReport, SpNeRFAccelerator
+from repro.hardware.area import AreaModel
+from repro.hardware.baselines import (
+    EdgeAcceleratorSpec,
+    GPUPlatformModel,
+    NEUREX_EDGE,
+    RT_NERF_EDGE,
+)
+from repro.hardware.buffers import BlockCirculantInputBuffer, DoubleBuffer, NaiveInputBuffer
+from repro.hardware.dram import DRAM_CONFIGS, DRAMConfig, DRAMModel
+from repro.hardware.energy import EnergyModel
+from repro.hardware.mlp_unit import MLPUnit, SystolicArrayConfig
+from repro.hardware.platforms import PLATFORMS, PlatformSpec
+from repro.hardware.sgpu import SGPU, SGPUConfig
+from repro.hardware.tech import TechnologyParameters, TSMC28
+from repro.hardware.workload import FrameWorkload, workload_from_render, workload_from_scene
+
+__all__ = [
+    "TechnologyParameters",
+    "TSMC28",
+    "DRAMConfig",
+    "DRAMModel",
+    "DRAM_CONFIGS",
+    "PlatformSpec",
+    "PLATFORMS",
+    "FrameWorkload",
+    "workload_from_scene",
+    "workload_from_render",
+    "DoubleBuffer",
+    "BlockCirculantInputBuffer",
+    "NaiveInputBuffer",
+    "SGPU",
+    "SGPUConfig",
+    "MLPUnit",
+    "SystolicArrayConfig",
+    "AcceleratorConfig",
+    "SpNeRFAccelerator",
+    "PerformanceReport",
+    "AreaModel",
+    "EnergyModel",
+    "GPUPlatformModel",
+    "EdgeAcceleratorSpec",
+    "RT_NERF_EDGE",
+    "NEUREX_EDGE",
+]

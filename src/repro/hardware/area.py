@@ -1,0 +1,97 @@
+"""Accelerator area model (Fig. 9(a), Table II).
+
+Component areas are assembled from the :class:`~repro.hardware.tech`
+constants: systolic-array PEs, SGPU datapath logic (hash lanes, interpolation
+MACs, address ALUs), compiled SRAM macros for every buffer, and a control /
+routing overhead fraction.  The paper's headline observation — that on-chip
+SRAM is only a small fraction of SpNeRF's area, unlike prior accelerators —
+falls out of the SRAM sizes the algorithm makes possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.hardware.mlp_unit import MLPUnit
+from repro.hardware.sgpu import SGPU
+from repro.hardware.tech import TSMC28, TechnologyParameters
+
+__all__ = ["AreaModel"]
+
+
+@dataclass
+class AreaModel:
+    """Area breakdown of the SpNeRF accelerator."""
+
+    sgpu: SGPU
+    mlp_unit: MLPUnit
+    tech: TechnologyParameters = field(default_factory=lambda: TSMC28)
+
+    # ------------------------------------------------------------------
+    def logic_breakdown(self) -> Dict[str, float]:
+        """Datapath logic area per component (mm^2, before control overhead)."""
+        tech = self.tech
+        cfg = self.sgpu.config
+        lanes = cfg.vertex_lanes
+        feature_dim = self.sgpu.feature_dim
+
+        systolic = self.mlp_unit.config.num_pes * tech.area_fp16_mac_mm2
+        # Grid ID Unit: per lane, a few FP16 subtract/multiply units + int ALUs.
+        gid = lanes * (3 * tech.area_fp16_alu_mm2 + 2 * tech.area_int_alu_mm2)
+        # Hash Mapping Unit: one hash lane per vertex lane + compare/add ALUs.
+        hmu = lanes * (tech.area_hash_unit_mm2 + 2 * tech.area_int_alu_mm2)
+        # Bitmap Lookup Unit: address generation only.
+        blu = lanes * tech.area_int_alu_mm2
+        # Trilinear Interpolation Unit: dequant + weighted accumulate MACs.
+        tiu = lanes * feature_dim * tech.area_fp16_mac_mm2
+        # Activation (ReLU/sigmoid LUT) + accumulator drain logic of the MLP unit.
+        activation = 0.25
+        return {
+            "systolic_array": systolic,
+            "grid_id_unit": gid,
+            "hash_mapping_unit": hmu,
+            "bitmap_lookup_unit": blu,
+            "trilinear_interpolation_unit": tiu,
+            "activation_and_control": activation,
+        }
+
+    def sram_breakdown_bytes(self) -> Dict[str, int]:
+        """SRAM bytes per buffer group (SGPU buffers vs MLP buffers)."""
+        return {
+            "sgpu_sram": self.sgpu.sram_bytes(),
+            "mlp_buffers": self.mlp_unit.sram_bytes(),
+        }
+
+    def sram_breakdown(self) -> Dict[str, float]:
+        """SRAM area per buffer group (mm^2)."""
+        return {
+            name: self.tech.sram_area_mm2(size)
+            for name, size in self.sram_breakdown_bytes().items()
+        }
+
+    # ------------------------------------------------------------------
+    def breakdown(self) -> Dict[str, float]:
+        """Full area breakdown in mm^2, including control/routing overhead."""
+        logic = self.logic_breakdown()
+        sram = self.sram_breakdown()
+        raw = {**logic, **sram}
+        overhead = sum(raw.values()) * self.tech.area_control_overhead
+        raw["routing_and_control_overhead"] = overhead
+        return raw
+
+    def total_mm2(self) -> float:
+        return sum(self.breakdown().values())
+
+    def total_sram_bytes(self) -> int:
+        return sum(self.sram_breakdown_bytes().values())
+
+    def total_sram_mbytes(self) -> float:
+        return self.total_sram_bytes() / (1024.0 * 1024.0)
+
+    def sram_area_fraction(self) -> float:
+        """Fraction of total area occupied by SRAM (small for SpNeRF)."""
+        total = self.total_mm2()
+        if total == 0.0:
+            return 0.0
+        return sum(self.sram_breakdown().values()) / total

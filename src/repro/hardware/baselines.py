@@ -1,0 +1,187 @@
+"""Baseline platform models.
+
+Two kinds of baselines appear in the paper's evaluation:
+
+* **Edge / datacenter GPUs** running the original VQRF flow (Jetson Xavier
+  NX, Jetson Orin NX, A100).  :class:`GPUPlatformModel` estimates their frame
+  time from the published Table I specifications: the restore step streams
+  the dense grid through DRAM, the rendering loop performs irregular vertex
+  gathers whose sustained bandwidth and cache reuse are platform-calibrated,
+  and the MLP/interpolation math runs at a fraction of peak FP16 throughput.
+  The split between memory time and compute time is what Fig. 2(a) plots; the
+  resulting FPS and FPS/W feed Fig. 8.
+* **Published edge accelerators** (RT-NeRF.Edge, NeuRex.Edge).  The paper
+  compares against their published Table II numbers, so
+  :data:`RT_NERF_EDGE` / :data:`NEUREX_EDGE` carry those numbers directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hardware.platforms import PLATFORMS, PlatformSpec
+from repro.hardware.workload import FrameWorkload
+
+__all__ = [
+    "GPUFrameBreakdown",
+    "GPUPlatformModel",
+    "EdgeAcceleratorSpec",
+    "RT_NERF_EDGE",
+    "NEUREX_EDGE",
+]
+
+#: Bytes touched per vertex gather on a GPU: density + 12 FP32 features span
+#: two 32-byte sectors of a 128-byte cache line.
+GATHER_TRANSACTION_BYTES = 64
+
+
+@dataclass
+class GPUFrameBreakdown:
+    """Per-frame time/energy split for one GPU platform."""
+
+    platform: str
+    restore_time_s: float
+    gather_time_s: float
+    compute_time_s: float
+    other_time_s: float
+
+    @property
+    def memory_time_s(self) -> float:
+        return self.restore_time_s + self.gather_time_s
+
+    @property
+    def frame_time_s(self) -> float:
+        return self.memory_time_s + self.compute_time_s + self.other_time_s
+
+    @property
+    def fps(self) -> float:
+        t = self.frame_time_s
+        return 1.0 / t if t > 0 else 0.0
+
+    @property
+    def memory_fraction(self) -> float:
+        t = self.frame_time_s
+        return self.memory_time_s / t if t > 0 else 0.0
+
+    @property
+    def compute_fraction(self) -> float:
+        t = self.frame_time_s
+        return self.compute_time_s / t if t > 0 else 0.0
+
+    def time_distribution(self) -> Dict[str, float]:
+        """Normalised time split (the Fig. 2(a) bars)."""
+        t = self.frame_time_s
+        if t <= 0:
+            return {"memory": 0.0, "compute": 0.0, "other": 0.0}
+        return {
+            "memory": self.memory_time_s / t,
+            "compute": self.compute_time_s / t,
+            "other": self.other_time_s / t,
+        }
+
+
+class GPUPlatformModel:
+    """Roofline-with-calibrated-efficiency model of VQRF on a GPU."""
+
+    def __init__(self, platform: PlatformSpec) -> None:
+        self.platform = platform
+
+    @classmethod
+    def by_name(cls, name: str) -> "GPUPlatformModel":
+        return cls(PLATFORMS[name.lower()])
+
+    # ------------------------------------------------------------------
+    def frame_breakdown(self, workload: FrameWorkload) -> GPUFrameBreakdown:
+        """Estimate one frame of the original VQRF flow on this platform."""
+        spec = self.platform
+        bw = spec.dram_bandwidth_bytes_per_s
+
+        # 1. Restore: read the compressed model, write the dense grid, read it
+        #    back while rendering.  All streaming traffic.
+        restore_bytes = workload.vqrf_compressed_bytes + 2.0 * workload.vqrf_restored_bytes
+        restore_time = restore_bytes / (bw * spec.dram.streaming_efficiency)
+
+        # 2. Irregular vertex gathers during ray marching.  The L2 absorbs a
+        #    platform-dependent share of the reuse; the rest goes to DRAM at
+        #    the irregular-access efficiency.
+        gather_bytes = workload.vertex_lookups * GATHER_TRANSACTION_BYTES
+        gather_dram_bytes = gather_bytes * (1.0 - spec.l2_reuse_factor)
+        gather_time = gather_dram_bytes / (bw * spec.gather_efficiency)
+
+        # 3. Compute: the decoder MLP on active samples plus trilinear
+        #    interpolation on processed samples, at the calibrated fraction of
+        #    peak FP16 throughput.
+        interp_flops = workload.processed_samples * 8 * (workload.feature_dim + 1) * 2
+        flops = workload.mlp_flops + interp_flops
+        compute_time = flops / (spec.fp16_flops * spec.compute_efficiency)
+
+        # 4. Fixed per-frame overhead (kernel launches, ray setup, compositing).
+        other_time = 2.0e-3
+
+        return GPUFrameBreakdown(
+            platform=spec.name,
+            restore_time_s=restore_time,
+            gather_time_s=gather_time,
+            compute_time_s=compute_time,
+            other_time_s=other_time,
+        )
+
+    # ------------------------------------------------------------------
+    def fps(self, workload: FrameWorkload) -> float:
+        return self.frame_breakdown(workload).fps
+
+    def energy_per_frame_j(self, workload: FrameWorkload) -> float:
+        """Board energy per frame (TDP times frame latency)."""
+        breakdown = self.frame_breakdown(workload)
+        return self.platform.power_w * breakdown.frame_time_s
+
+    def fps_per_watt(self, workload: FrameWorkload) -> float:
+        return self.fps(workload) / self.platform.power_w
+
+
+@dataclass(frozen=True)
+class EdgeAcceleratorSpec:
+    """Published Table II row for a prior edge neural-rendering accelerator."""
+
+    name: str
+    sram_mbytes: float
+    area_mm2: float
+    technology_nm: int
+    power_w: float
+    dram_name: str
+    dram_bandwidth_gbps: float
+    fps: float
+
+    @property
+    def fps_per_watt(self) -> float:
+        return self.fps / self.power_w
+
+    @property
+    def fps_per_mm2(self) -> float:
+        return self.fps / self.area_mm2
+
+
+#: RT-NeRF.Edge, as published (paper Table II).
+RT_NERF_EDGE = EdgeAcceleratorSpec(
+    name="RT-NeRF.Edge",
+    sram_mbytes=3.5,
+    area_mm2=18.85,
+    technology_nm=28,
+    power_w=8.0,
+    dram_name="LPDDR4-1600",
+    dram_bandwidth_gbps=17.0,
+    fps=45.0,
+)
+
+#: NeuRex.Edge, as published (FPS inferred from Jetson XNX speedup, Table II).
+NEUREX_EDGE = EdgeAcceleratorSpec(
+    name="NeuRex.Edge",
+    sram_mbytes=0.86,
+    area_mm2=1.31,
+    technology_nm=28,
+    power_w=1.31,
+    dram_name="LPDDR4-3200",
+    dram_bandwidth_gbps=59.7,
+    fps=6.57,
+)

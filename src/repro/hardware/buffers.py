@@ -1,0 +1,196 @@
+"""On-chip buffers: double buffering and the block-circulant input format.
+
+Every buffer in the SpNeRF accelerator is double-buffered so DRAM fills
+overlap with compute (:class:`DoubleBuffer`).  The MLP input buffer
+additionally uses the block-circulant storage format of Fig. 5: the 39-element
+(padded to 40) input vector is split into ten 4-element blocks, block ``b`` of
+vector ``v`` is written to bank ``(b + v) mod 10``, and reads apply the inverse
+shift.  This lets one vector's ten blocks be fetched from ten different banks
+in a single cycle while successive vectors start in successive banks —
+avoiding both the bank conflicts and the padding waste of a naive row layout
+(:class:`NaiveInputBuffer`, kept for the ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["DoubleBuffer", "BlockCirculantInputBuffer", "NaiveInputBuffer"]
+
+
+@dataclass
+class DoubleBuffer:
+    """A double-buffered SRAM: fills overlap with drains of the other half.
+
+    Parameters
+    ----------
+    name:
+        Buffer name (appears in the area/power breakdowns).
+    bank_bytes:
+        Capacity of *one* half.
+    """
+
+    name: str
+    bank_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.bank_bytes <= 0:
+            raise ValueError("bank_bytes must be positive")
+
+    @property
+    def total_bytes(self) -> int:
+        """Physical SRAM size (both halves)."""
+        return 2 * self.bank_bytes
+
+    def stall_cycles(self, fill_cycles: float, compute_cycles: float) -> float:
+        """Pipeline stall when refilling one half while computing on the other.
+
+        With double buffering the next tile's fill runs during the current
+        tile's compute; a stall only appears when the fill is the longer of
+        the two.
+        """
+        return max(0.0, fill_cycles - compute_cycles)
+
+    def fits(self, num_bytes: int) -> bool:
+        """Whether one half can hold ``num_bytes``."""
+        return num_bytes <= self.bank_bytes
+
+
+class BlockCirculantInputBuffer:
+    """The Fig. 5 block-circulant layout of the MLP input buffer.
+
+    Parameters
+    ----------
+    vector_length:
+        Elements per input vector (39 = 12 features + 27 view encoding).
+    block_size:
+        Elements per block (4).
+    element_bytes:
+        Bytes per element (2, FP16).
+    """
+
+    def __init__(self, vector_length: int = 39, block_size: int = 4, element_bytes: int = 2) -> None:
+        if vector_length < 1 or block_size < 1:
+            raise ValueError("vector_length and block_size must be positive")
+        self.vector_length = vector_length
+        self.block_size = block_size
+        self.element_bytes = element_bytes
+
+    # ------------------------------------------------------------------
+    @property
+    def padded_length(self) -> int:
+        """Vector length rounded up to a whole number of blocks (39 -> 40)."""
+        blocks = -(-self.vector_length // self.block_size)
+        return blocks * self.block_size
+
+    @property
+    def num_banks(self) -> int:
+        """One bank per block of the padded vector (10 for a 39-vector)."""
+        return self.padded_length // self.block_size
+
+    @property
+    def padding_elements(self) -> int:
+        return self.padded_length - self.vector_length
+
+    # ------------------------------------------------------------------
+    def write_layout(self, vector_index: int) -> List[Tuple[int, int]]:
+        """(bank, block-slot) for each block of one vector.
+
+        Block ``b`` of vector ``v`` goes to bank ``(b + v) mod num_banks`` at
+        block-slot ``v`` — the circulant shift that staggers consecutive
+        vectors across banks.
+        """
+        banks = self.num_banks
+        return [((block + vector_index) % banks, vector_index) for block in range(banks)]
+
+    def read_shift(self, vector_index: int) -> int:
+        """Barrel-shift applied after reading so block 0 re-aligns to lane 0."""
+        return vector_index % self.num_banks
+
+    # ------------------------------------------------------------------
+    def write_cycles(self, num_vectors: int) -> int:
+        """Cycles to write ``num_vectors`` vectors (all banks accept one block/cycle)."""
+        return int(num_vectors)
+
+    def read_cycles(self, num_vectors: int) -> int:
+        """Cycles to read ``num_vectors`` vectors.
+
+        Every vector's blocks live in distinct banks, so one vector is read
+        per cycle regardless of alignment.
+        """
+        return int(num_vectors)
+
+    def bank_conflicts(self, num_vectors: int) -> int:
+        """Bank conflicts while reading (zero by construction)."""
+        return 0
+
+    def memory_bytes(self, num_vectors: int) -> int:
+        """Storage for ``num_vectors`` vectors including block padding."""
+        return num_vectors * self.padded_length * self.element_bytes
+
+    def roundtrip(self, vectors: np.ndarray) -> np.ndarray:
+        """Functionally store and re-read vectors through the layout.
+
+        Used by tests to prove the shift logic preserves element order for
+        arbitrary batch sizes.
+        """
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self.vector_length:
+            raise ValueError(f"expected (N, {self.vector_length}) vectors")
+        n = vectors.shape[0]
+        banks = self.num_banks
+        padded = np.zeros((n, self.padded_length), dtype=np.float64)
+        padded[:, : self.vector_length] = vectors
+        blocks = padded.reshape(n, banks, self.block_size)
+
+        storage = np.zeros_like(blocks)  # (slot, bank, block)
+        for v in range(n):
+            for block, (bank, slot) in enumerate(self.write_layout(v)):
+                storage[slot, bank] = blocks[v, block]
+
+        recovered = np.zeros_like(blocks)
+        for v in range(n):
+            shift = self.read_shift(v)
+            # Reading slot v returns the banks in physical order; undo the
+            # circulant shift to restore logical block order.
+            recovered[v] = np.roll(storage[v], -shift, axis=0)
+        return recovered.reshape(n, self.padded_length)[:, : self.vector_length]
+
+
+class NaiveInputBuffer:
+    """Row-per-vector layout used as the ablation baseline.
+
+    All blocks of one vector live in the same bank, so feeding the systolic
+    array's lanes (which need one block from each of the ten block positions
+    per cycle) serialises into one bank access per block.
+    """
+
+    def __init__(self, vector_length: int = 39, block_size: int = 4, element_bytes: int = 2) -> None:
+        self.vector_length = vector_length
+        self.block_size = block_size
+        self.element_bytes = element_bytes
+
+    @property
+    def padded_length(self) -> int:
+        blocks = -(-self.vector_length // self.block_size)
+        return blocks * self.block_size
+
+    @property
+    def num_blocks(self) -> int:
+        return self.padded_length // self.block_size
+
+    def write_cycles(self, num_vectors: int) -> int:
+        return int(num_vectors)
+
+    def read_cycles(self, num_vectors: int) -> int:
+        """Each vector read serialises over its blocks (bank conflicts)."""
+        return int(num_vectors) * self.num_blocks
+
+    def bank_conflicts(self, num_vectors: int) -> int:
+        return int(num_vectors) * (self.num_blocks - 1)
+
+    def memory_bytes(self, num_vectors: int) -> int:
+        return num_vectors * self.padded_length * self.element_bytes

@@ -1,0 +1,103 @@
+"""Off-chip DRAM model.
+
+The paper obtains DRAM timing and power from Ramulator configured as
+LPDDR4-3200 (59.7 GB/s).  This model captures what the evaluation actually
+uses from Ramulator: sustained bandwidth under streaming vs irregular access,
+per-byte access energy, and transfer latency for a given number of bytes.
+Configurations for the other platforms' memories (Table I / Table II) are
+included so the same model feeds the baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["DRAMConfig", "DRAMModel", "DRAM_CONFIGS"]
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Static description of one DRAM system."""
+
+    name: str
+    peak_bandwidth_gbps: float      # GB/s
+    access_energy_pj_per_byte: float
+    burst_bytes: int = 64
+    streaming_efficiency: float = 0.85   # fraction of peak for sequential bursts
+    random_efficiency: float = 0.25      # fraction of peak for irregular gathers
+    static_power_w: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.peak_bandwidth_gbps <= 0:
+            raise ValueError("peak bandwidth must be positive")
+        for field_name in ("streaming_efficiency", "random_efficiency"):
+            value = getattr(self, field_name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{field_name} must be in (0, 1]")
+
+
+#: DRAM systems appearing in Table I and Table II.
+DRAM_CONFIGS: Dict[str, DRAMConfig] = {
+    "lpddr4-3200": DRAMConfig(
+        name="lpddr4-3200",
+        peak_bandwidth_gbps=59.7,
+        access_energy_pj_per_byte=20.0,
+    ),
+    "lpddr4-1600": DRAMConfig(
+        name="lpddr4-1600",
+        peak_bandwidth_gbps=17.0,
+        access_energy_pj_per_byte=22.0,
+    ),
+    "lpddr5": DRAMConfig(
+        name="lpddr5",
+        peak_bandwidth_gbps=102.4,
+        access_energy_pj_per_byte=15.0,
+    ),
+    "hbm2": DRAMConfig(
+        name="hbm2",
+        peak_bandwidth_gbps=1555.0,
+        access_energy_pj_per_byte=7.0,
+        streaming_efficiency=0.9,
+        random_efficiency=0.45,
+    ),
+}
+
+
+class DRAMModel:
+    """Bandwidth/energy model over one :class:`DRAMConfig`."""
+
+    def __init__(self, config: DRAMConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def effective_bandwidth_bytes_per_s(self, streaming: bool = True) -> float:
+        eff = (
+            self.config.streaming_efficiency
+            if streaming
+            else self.config.random_efficiency
+        )
+        return self.config.peak_bandwidth_gbps * 1e9 * eff
+
+    def transfer_time_s(self, num_bytes: float, streaming: bool = True) -> float:
+        """Seconds to move ``num_bytes`` at the sustained bandwidth."""
+        if num_bytes <= 0:
+            return 0.0
+        return num_bytes / self.effective_bandwidth_bytes_per_s(streaming)
+
+    def transfer_energy_j(self, num_bytes: float) -> float:
+        """Access energy (interface + array) for ``num_bytes``."""
+        return max(num_bytes, 0.0) * self.config.access_energy_pj_per_byte * 1e-12
+
+    def transactions(self, num_bytes: float) -> int:
+        """Number of burst transactions required for ``num_bytes``."""
+        if num_bytes <= 0:
+            return 0
+        bursts = int(-(-num_bytes // self.config.burst_bytes))
+        return bursts
+
+    def average_power_w(self, num_bytes: float, duration_s: float) -> float:
+        """Average DRAM power over a window of ``duration_s`` seconds."""
+        if duration_s <= 0:
+            return self.config.static_power_w
+        return self.config.static_power_w + self.transfer_energy_j(num_bytes) / duration_s

@@ -1,0 +1,106 @@
+"""Accelerator energy / power model (Fig. 9(b), Table II).
+
+Per-frame energy is assembled from dynamic operation counts (systolic-array
+MACs, SGPU arithmetic, hash evaluations), on-chip SRAM traffic, off-chip DRAM
+traffic and leakage over the frame time.  Dividing by the frame latency gives
+the average power reported in Table II; the per-component split is the
+Fig. 9(b) breakdown (systolic array dominant — the consequence of SpNeRF
+shrinking the SRAM and the DRAM traffic that dominate prior designs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.hardware.dram import DRAMModel
+from repro.hardware.mlp_unit import MLPUnitActivity
+from repro.hardware.sgpu import SGPUActivity
+from repro.hardware.tech import TSMC28, TechnologyParameters
+
+__all__ = ["EnergyModel", "EnergyReport"]
+
+#: Effective energy per systolic-array MAC including its operand/accumulator
+#: register movement and clocking (pJ); a plain FP16 MAC alone is ~0.3 pJ.
+SYSTOLIC_MAC_ENERGY_PJ = 0.95
+
+
+@dataclass
+class EnergyReport:
+    """Energy (J) and average power (W) per component for one frame."""
+
+    energy_j: Dict[str, float]
+    frame_time_s: float
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(self.energy_j.values())
+
+    @property
+    def power_w(self) -> Dict[str, float]:
+        if self.frame_time_s <= 0:
+            return {name: 0.0 for name in self.energy_j}
+        return {name: e / self.frame_time_s for name, e in self.energy_j.items()}
+
+    @property
+    def total_power_w(self) -> float:
+        if self.frame_time_s <= 0:
+            return 0.0
+        return self.total_energy_j / self.frame_time_s
+
+
+@dataclass
+class EnergyModel:
+    """Computes per-frame energy from activity counts."""
+
+    dram: DRAMModel
+    tech: TechnologyParameters = field(default_factory=lambda: TSMC28)
+    total_area_mm2: float = 7.7
+    total_sram_bytes: int = 629 * 1024
+    clock_overhead_fraction: float = 0.25
+
+    # ------------------------------------------------------------------
+    def frame_energy(
+        self,
+        sgpu_activity: SGPUActivity,
+        mlp_activity: MLPUnitActivity,
+        dram_bytes: float,
+        frame_time_s: float,
+    ) -> EnergyReport:
+        """Assemble the per-component energy for one rendered frame."""
+        tech = self.tech
+
+        systolic = mlp_activity.macs * SYSTOLIC_MAC_ENERGY_PJ * 1e-12
+        sgpu_logic = (
+            sgpu_activity.fp16_ops * tech.energy_fp16_mul_pj
+            + sgpu_activity.int_ops * tech.energy_int_op_pj
+            + sgpu_activity.hash_ops * tech.energy_hash_pj
+        ) * 1e-12
+        sram_bytes = (
+            sgpu_activity.sram_read_bytes
+            + sgpu_activity.sram_write_bytes
+            + mlp_activity.sram_read_bytes
+            + mlp_activity.sram_write_bytes
+        )
+        on_chip_sram = sram_bytes * tech.energy_sram_access_pj_per_byte * 1e-12
+        dram_energy = self.dram.transfer_energy_j(dram_bytes)
+
+        leakage = (
+            tech.logic_leakage_w(self.total_area_mm2)
+            + tech.sram_leakage_w(self.total_sram_bytes)
+        ) * frame_time_s
+
+        dynamic = systolic + sgpu_logic + on_chip_sram
+        clocking = dynamic * self.clock_overhead_fraction
+
+        return EnergyReport(
+            energy_j={
+                "systolic_array": systolic,
+                "sgpu_logic": sgpu_logic,
+                "on_chip_sram": on_chip_sram,
+                "dram": dram_energy,
+                "clock_and_control": clocking,
+                "leakage": leakage,
+            },
+            frame_time_s=frame_time_s,
+        )

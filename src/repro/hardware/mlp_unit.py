@@ -1,0 +1,140 @@
+"""The MLP Unit: an output-stationary systolic array plus its buffers.
+
+The paper's MLP Unit executes the 3-layer decoder (channels 128, 128, 3) in
+batches of 64 samples on an output-stationary systolic array, fed by the
+block-circulant input buffer of Fig. 5.  The model here computes, per batch
+and per layer, how many cycles the array is busy (tiles x reduction depth plus
+pipeline fill/drain), the achieved utilization and the operation counts for
+the energy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.hardware.buffers import BlockCirculantInputBuffer
+from repro.nerf.mlp import MLPSpec
+
+__all__ = ["SystolicArrayConfig", "MLPUnit", "MLPUnitActivity"]
+
+
+@dataclass(frozen=True)
+class SystolicArrayConfig:
+    """Geometry of the output-stationary systolic array.
+
+    Rows map to batch samples, columns to output channels; partial sums stay
+    in place while inputs and weights stream through.
+    """
+
+    rows: int = 64
+    cols: int = 64
+    batch_size: int = 64
+    fill_drain_cycles: int = 64   # pipeline fill + accumulator drain per tile wave
+    weight_buffer_bytes: int = 32768
+    input_buffer_bytes: int = 16384
+    output_buffer_bytes: int = 10240
+    element_bytes: int = 2
+
+    @property
+    def num_pes(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        return self.num_pes
+
+    @property
+    def buffer_bytes(self) -> int:
+        """Total MLP-unit SRAM (the ~58 KB the paper reports)."""
+        return self.weight_buffer_bytes + self.input_buffer_bytes + self.output_buffer_bytes
+
+
+@dataclass
+class MLPUnitActivity:
+    """Cycle and operation counts for one frame of MLP work."""
+
+    cycles: float = 0.0
+    macs: float = 0.0
+    sram_read_bytes: float = 0.0
+    sram_write_bytes: float = 0.0
+    utilization: float = 0.0
+
+
+@dataclass
+class MLPUnit:
+    """Cycle/energy model of the systolic MLP unit."""
+
+    config: SystolicArrayConfig = field(default_factory=SystolicArrayConfig)
+    mlp_spec: MLPSpec = field(default_factory=MLPSpec)
+    input_buffer: BlockCirculantInputBuffer = field(default_factory=BlockCirculantInputBuffer)
+
+    # ------------------------------------------------------------------
+    def layer_cycles(self, batch: int, in_dim: int, out_dim: int) -> float:
+        """Cycles for one fully-connected layer on one batch.
+
+        The batch is tiled over array rows and the output channels over array
+        columns; each tile streams ``in_dim`` partial sums.  Consecutive tiles
+        are pipelined, so fill/drain is paid once per layer wave.
+        """
+        cfg = self.config
+        row_tiles = -(-batch // cfg.rows)
+        col_tiles = -(-out_dim // cfg.cols)
+        return row_tiles * col_tiles * in_dim + cfg.fill_drain_cycles
+
+    def batch_cycles(self, batch: int | None = None) -> float:
+        """Cycles to run the whole 3-layer MLP on one batch."""
+        batch = batch or self.config.batch_size
+        dims = self.mlp_spec.layer_dims
+        return sum(
+            self.layer_cycles(batch, dims[i], dims[i + 1]) for i in range(len(dims) - 1)
+        )
+
+    def batch_layer_breakdown(self, batch: int | None = None) -> List[float]:
+        """Per-layer cycle counts (used by tests and the pipeline analysis)."""
+        batch = batch or self.config.batch_size
+        dims = self.mlp_spec.layer_dims
+        return [
+            self.layer_cycles(batch, dims[i], dims[i + 1]) for i in range(len(dims) - 1)
+        ]
+
+    # ------------------------------------------------------------------
+    def frame_activity(self, active_samples: int) -> MLPUnitActivity:
+        """Cycles, MACs and buffer traffic to decode ``active_samples`` colors."""
+        cfg = self.config
+        if active_samples <= 0:
+            return MLPUnitActivity()
+        num_batches = -(-active_samples // cfg.batch_size)
+        cycles = num_batches * self.batch_cycles()
+        macs = float(active_samples) * self.mlp_spec.macs_per_sample
+
+        # Buffer traffic: inputs read once per layer-1 tile wave, activations
+        # written/read between layers, weights read once per batch (they are
+        # small enough to stay resident but stream into the PEs every batch).
+        dims = self.mlp_spec.layer_dims
+        act_bytes = sum(dims[1:-1]) * cfg.element_bytes * active_samples
+        in_bytes = dims[0] * cfg.element_bytes * active_samples
+        out_bytes = dims[-1] * cfg.element_bytes * active_samples
+        weight_bytes = self.mlp_spec.num_parameters * cfg.element_bytes * num_batches
+
+        ideal_cycles = macs / cfg.peak_macs_per_cycle
+        utilization = min(1.0, ideal_cycles / cycles) if cycles > 0 else 0.0
+        return MLPUnitActivity(
+            cycles=cycles,
+            macs=macs,
+            sram_read_bytes=in_bytes + act_bytes + weight_bytes,
+            sram_write_bytes=act_bytes + out_bytes,
+            utilization=utilization,
+        )
+
+    # ------------------------------------------------------------------
+    def sram_breakdown(self) -> Dict[str, int]:
+        cfg = self.config
+        return {
+            "weight_buffer": cfg.weight_buffer_bytes,
+            "input_buffer": cfg.input_buffer_bytes,
+            "output_buffer": cfg.output_buffer_bytes,
+        }
+
+    def sram_bytes(self) -> int:
+        return self.config.buffer_bytes

@@ -1,0 +1,238 @@
+"""Sparse Grid Processing Unit (SGPU) model.
+
+The SGPU (paper Section IV-B) executes the online decoding flow for every ray
+sample: the Grid ID Unit (GID) finds the eight surrounding vertices and their
+Eq. 2 weights, the Bitmap Lookup Unit (BLU) reads the occupancy bits, the Hash
+Mapping Unit (HMU) hashes each vertex, reads (index, density) from the Index
+and Density Buffer and fetches the color feature from the codebook or the INT8
+true-voxel-grid buffer, and the Trilinear Interpolation Unit (TIU) de-quantizes
+and accumulates the weighted features.
+
+The model is organised per unit so the area/power breakdowns (Fig. 9) and the
+pipeline throughput analysis can attribute cost to individual units.  Each
+unit exposes:
+
+* ``ops(workload)`` — dynamic-operation counts for the energy model,
+* ``sram_bytes()`` — the SRAM it owns (double-buffered where the paper says
+  so),
+* ``throughput_samples_per_cycle`` — the pipelined issue rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.hardware.workload import FrameWorkload
+
+__all__ = [
+    "SGPUConfig",
+    "GridIDUnit",
+    "BitmapLookupUnit",
+    "HashMappingUnit",
+    "TrilinearInterpolationUnit",
+    "SGPUActivity",
+    "SGPU",
+]
+
+
+@dataclass(frozen=True)
+class SGPUConfig:
+    """Sizing of the SGPU datapath and its buffers.
+
+    The default buffer sizes follow the paper's storage plan for a 160^3 grid
+    with 64 subgrids and 32k-entry hash tables, and sum to the ~571 KB of SGPU
+    SRAM reported in the area breakdown.
+    """
+
+    #: Vertex lanes working in parallel (8 = one voxel cell per cycle).
+    vertex_lanes: int = 8
+    #: Samples accepted per cycle when every lane is busy.
+    samples_per_cycle: float = 1.0
+    #: Empty samples (all-zero cells) rejected per cycle via the bitmap.
+    empty_reject_per_cycle: float = 8.0
+    #: One half of the double-buffered Index and Density Buffer (32k x 4 B).
+    index_density_buffer_bytes: int = 131072
+    #: One half of the double-buffered per-subgrid bitmap slice.
+    bitmap_buffer_bytes: int = 8192
+    #: Color codebook buffer (4096 x 12 x FP16).
+    codebook_buffer_bytes: int = 98304
+    #: True-voxel-grid streaming buffer (INT8 features).
+    true_grid_buffer_bytes: int = 65536
+    #: Position / sample staging buffer.
+    position_buffer_bytes: int = 24576
+    #: FP16 element width in bytes.
+    element_bytes: int = 2
+
+
+@dataclass
+class SGPUActivity:
+    """Operation and traffic counts produced by processing one frame."""
+
+    cycles: float = 0.0
+    fp16_ops: float = 0.0
+    int_ops: float = 0.0
+    hash_ops: float = 0.0
+    sram_read_bytes: float = 0.0
+    sram_write_bytes: float = 0.0
+
+    def merge(self, other: "SGPUActivity") -> None:
+        self.cycles = max(self.cycles, other.cycles)
+        self.fp16_ops += other.fp16_ops
+        self.int_ops += other.int_ops
+        self.hash_ops += other.hash_ops
+        self.sram_read_bytes += other.sram_read_bytes
+        self.sram_write_bytes += other.sram_write_bytes
+
+
+class GridIDUnit:
+    """Computes voxel-cell vertices and Eq. 2 interpolation weights."""
+
+    def __init__(self, config: SGPUConfig) -> None:
+        self.config = config
+
+    def ops(self, workload: FrameWorkload) -> SGPUActivity:
+        samples = workload.processed_samples
+        lanes = self.config.vertex_lanes
+        # Per sample: floor/ceil per axis (int), then per vertex 3 subtractions,
+        # 3 absolute values and 2 multiplications in FP16 for the weight.
+        fp16 = samples * lanes * (3 + 3 + 2)
+        ints = samples * 6
+        return SGPUActivity(
+            cycles=samples / self.config.samples_per_cycle,
+            fp16_ops=fp16,
+            int_ops=ints,
+            sram_read_bytes=samples * 3 * self.config.element_bytes,
+        )
+
+    def sram_bytes(self) -> int:
+        return self.config.position_buffer_bytes * 2  # double-buffered
+
+
+class BitmapLookupUnit:
+    """Reads the 1-bit occupancy of each vertex from the bitmap buffer."""
+
+    def __init__(self, config: SGPUConfig) -> None:
+        self.config = config
+
+    def ops(self, workload: FrameWorkload) -> SGPUActivity:
+        lookups = workload.vertex_lookups
+        return SGPUActivity(
+            cycles=workload.processed_samples / self.config.samples_per_cycle,
+            int_ops=lookups,               # address computation
+            sram_read_bytes=lookups / 8.0,  # one bit per lookup
+        )
+
+    def sram_bytes(self) -> int:
+        return self.config.bitmap_buffer_bytes * 2
+
+
+class HashMappingUnit:
+    """Hashes vertices and resolves the unified index into a feature fetch."""
+
+    def __init__(self, config: SGPUConfig, feature_dim: int = 12) -> None:
+        self.config = config
+        self.feature_dim = feature_dim
+
+    def ops(self, workload: FrameWorkload) -> SGPUActivity:
+        lookups = workload.vertex_lookups
+        entry_bytes = 4
+        # Only occupied vertices proceed to a feature fetch; estimate them from
+        # the active/processed ratio (occupied cells have >= 1 occupied vertex).
+        occupied_fraction = min(
+            1.0, workload.active_samples / max(workload.processed_samples, 1)
+        )
+        feature_fetches = lookups * occupied_fraction
+        feature_bytes = self.feature_dim  # INT8 true grid / codebook row (INT8-packed)
+        return SGPUActivity(
+            cycles=workload.processed_samples / self.config.samples_per_cycle,
+            hash_ops=lookups,
+            int_ops=lookups * 2,  # region compare + address add
+            sram_read_bytes=lookups * entry_bytes + feature_fetches * feature_bytes,
+        )
+
+    def sram_bytes(self) -> int:
+        double_buffered = (
+            self.config.index_density_buffer_bytes + self.config.true_grid_buffer_bytes
+        ) * 2
+        return double_buffered + self.config.codebook_buffer_bytes
+
+
+class TrilinearInterpolationUnit:
+    """De-quantizes fetched features and accumulates the weighted sum."""
+
+    def __init__(self, config: SGPUConfig, feature_dim: int = 12) -> None:
+        self.config = config
+        self.feature_dim = feature_dim
+
+    def ops(self, workload: FrameWorkload) -> SGPUActivity:
+        samples = workload.active_samples
+        lanes = self.config.vertex_lanes
+        # Per active sample: 8 vertices x feature_dim dequant multiplies plus
+        # 8 x feature_dim weighted MACs plus the density interpolation.
+        fp16 = samples * lanes * self.feature_dim * 2 + samples * lanes
+        write_bytes = samples * (self.feature_dim + 1) * self.config.element_bytes
+        return SGPUActivity(
+            cycles=samples / self.config.samples_per_cycle,
+            fp16_ops=fp16,
+            sram_write_bytes=write_bytes,
+        )
+
+    def sram_bytes(self) -> int:
+        return 0  # accumulators live in registers
+
+
+@dataclass
+class SGPU:
+    """The composed Sparse Grid Processing Unit."""
+
+    config: SGPUConfig = field(default_factory=SGPUConfig)
+    feature_dim: int = 12
+
+    def __post_init__(self) -> None:
+        self.grid_id_unit = GridIDUnit(self.config)
+        self.bitmap_unit = BitmapLookupUnit(self.config)
+        self.hash_unit = HashMappingUnit(self.config, self.feature_dim)
+        self.interpolation_unit = TrilinearInterpolationUnit(self.config, self.feature_dim)
+
+    # ------------------------------------------------------------------
+    def sram_breakdown(self) -> Dict[str, int]:
+        """SRAM bytes owned by each sub-unit (the Fig. 9(a) SGPU slice)."""
+        return {
+            "position_buffer": self.grid_id_unit.sram_bytes(),
+            "bitmap_buffer": self.bitmap_unit.sram_bytes(),
+            "index_density_and_grid_buffers": self.hash_unit.sram_bytes(),
+        }
+
+    def sram_bytes(self) -> int:
+        return sum(self.sram_breakdown().values())
+
+    # ------------------------------------------------------------------
+    def pipeline_cycles(self, workload: FrameWorkload) -> float:
+        """Cycles the fully pipelined SGPU needs for one frame.
+
+        Occupied-cell samples are issued at ``samples_per_cycle``; empty-cell
+        samples are rejected ``empty_reject_per_cycle`` at a time after the
+        bitmap check, mirroring the cheap early-out in the hardware.
+        """
+        cfg = self.config
+        active = workload.active_samples
+        empty = max(workload.processed_samples - active, 0)
+        return active / cfg.samples_per_cycle + empty / cfg.empty_reject_per_cycle
+
+    def activity(self, workload: FrameWorkload) -> SGPUActivity:
+        """Aggregate operation counts for the energy model."""
+        total = SGPUActivity(cycles=self.pipeline_cycles(workload))
+        for unit in (
+            self.grid_id_unit,
+            self.bitmap_unit,
+            self.hash_unit,
+            self.interpolation_unit,
+        ):
+            part = unit.ops(workload)
+            total.fp16_ops += part.fp16_ops
+            total.int_ops += part.int_ops
+            total.hash_ops += part.hash_ops
+            total.sram_read_bytes += part.sram_read_bytes
+            total.sram_write_bytes += part.sram_write_bytes
+        return total

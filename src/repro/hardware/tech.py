@@ -1,0 +1,70 @@
+"""28 nm technology constants.
+
+The paper synthesises the accelerator with Synopsys Design Compiler on TSMC
+28 nm and generates SRAMs with the matching memory compiler.  Neither tool is
+available here, so this module provides per-operation energy and per-unit
+area constants in the range published for 28 nm CMOS (Horowitz ISSCC'14 style
+numbers, scaled from 45 nm), lightly calibrated so that the assembled
+accelerator lands near the paper's reported totals (7.7 mm^2, 3 W, 0.61 MB
+SRAM at 1 GHz).  All downstream area/power results derive from these
+constants, so the calibration lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TechnologyParameters", "TSMC28"]
+
+
+@dataclass(frozen=True)
+class TechnologyParameters:
+    """Energy and area constants for one process node.
+
+    Energy values are in picojoules per operation; area values in square
+    millimetres per unit noted in the field name.
+    """
+
+    name: str = "tsmc28"
+    clock_hz: float = 1.0e9
+
+    # --- dynamic energy (pJ) ------------------------------------------------
+    energy_fp16_mac_pj: float = 0.30
+    energy_fp16_add_pj: float = 0.10
+    energy_fp16_mul_pj: float = 0.20
+    energy_int_op_pj: float = 0.05
+    energy_hash_pj: float = 0.18          # 3 integer multiplies + xors + mod
+    energy_sram_access_pj_per_byte: float = 0.08
+    energy_dram_access_pj_per_byte: float = 20.0   # LPDDR4 class interface
+    energy_register_pj_per_byte: float = 0.01
+
+    # --- leakage / static power (mW) ----------------------------------------
+    leakage_mw_per_mm2: float = 12.0
+    sram_leakage_mw_per_kb: float = 0.015
+
+    # --- area (mm^2) ---------------------------------------------------------
+    area_fp16_mac_mm2: float = 1.2e-3      # one FP16 multiply-accumulate PE
+    area_fp16_alu_mm2: float = 4.0e-4
+    area_int_alu_mm2: float = 1.2e-4
+    area_hash_unit_mm2: float = 3.0e-3     # one hash lane (mults + mod)
+    area_sram_mm2_per_kb: float = 2.0e-3   # compiled single-port SRAM
+    area_control_overhead: float = 0.12    # routing / control as a fraction
+
+    # ------------------------------------------------------------------
+    @property
+    def cycle_time_s(self) -> float:
+        return 1.0 / self.clock_hz
+
+    def sram_area_mm2(self, size_bytes: int) -> float:
+        """Area of a compiled SRAM macro of the given size."""
+        return (size_bytes / 1024.0) * self.area_sram_mm2_per_kb
+
+    def sram_leakage_w(self, size_bytes: int) -> float:
+        return (size_bytes / 1024.0) * self.sram_leakage_mw_per_kb * 1e-3
+
+    def logic_leakage_w(self, area_mm2: float) -> float:
+        return area_mm2 * self.leakage_mw_per_mm2 * 1e-3
+
+
+#: Default technology used throughout the hardware models.
+TSMC28 = TechnologyParameters()

@@ -1,0 +1,57 @@
+"""Volumetric NeRF substrate.
+
+Everything a voxel-grid NeRF (DVGO / VQRF style) needs besides the grid
+itself: cameras and ray generation, stratified sampling along rays,
+positional encoding of view directions, the small 3-layer MLP color decoder
+(channel sizes 128, 128, 3 — the exact network the paper's MLP Unit
+executes), alpha-compositing volume rendering and image-quality metrics.
+
+The central abstraction is :class:`~repro.nerf.renderer.RadianceField`: any
+object with a ``query(points, view_dirs)`` method returning per-sample density
+and RGB.  The dense reference renderer, the VQRF restore-based renderer and
+the SpNeRF hash-decoding renderer all implement it, so a single
+:class:`~repro.nerf.renderer.VolumetricRenderer` produces the images compared
+throughout the evaluation.
+"""
+
+from repro.nerf.encoding import positional_encoding, view_encoding_dim
+from repro.nerf.metrics import mse, psnr, ssim
+from repro.nerf.mlp import MLP, MLPSpec, build_decoder_mlp
+from repro.nerf.rays import (
+    Camera,
+    RayBatch,
+    generate_rays,
+    ray_aabb_intersect,
+    sample_along_rays,
+)
+from repro.nerf.renderer import (
+    DenseGridField,
+    RadianceField,
+    RenderConfig,
+    VolumetricRenderer,
+)
+from repro.nerf.training import train_decoder_mlp
+from repro.nerf.volume_rendering import composite_rays, density_to_alpha
+
+__all__ = [
+    "Camera",
+    "RayBatch",
+    "generate_rays",
+    "ray_aabb_intersect",
+    "sample_along_rays",
+    "positional_encoding",
+    "view_encoding_dim",
+    "MLP",
+    "MLPSpec",
+    "build_decoder_mlp",
+    "train_decoder_mlp",
+    "density_to_alpha",
+    "composite_rays",
+    "RadianceField",
+    "DenseGridField",
+    "RenderConfig",
+    "VolumetricRenderer",
+    "mse",
+    "psnr",
+    "ssim",
+]

@@ -1,0 +1,56 @@
+"""Positional encoding of view directions.
+
+VQRF (like DVGO) feeds the interpolated 12-channel color feature together
+with a frequency-encoded view direction into its small MLP.  With 4
+frequencies and the raw direction included, a 3-vector encodes to
+``3 + 3 * 2 * 4 = 27`` channels, which together with the 12 feature channels
+gives the 39-element MLP input vector that the paper's block-circulant input
+buffer (Fig. 5) stores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["positional_encoding", "view_encoding_dim"]
+
+DEFAULT_NUM_FREQUENCIES = 4
+
+
+def view_encoding_dim(num_frequencies: int = DEFAULT_NUM_FREQUENCIES, include_input: bool = True) -> int:
+    """Output dimensionality of :func:`positional_encoding` for 3-vectors."""
+    dim = 3 * 2 * num_frequencies
+    if include_input:
+        dim += 3
+    return dim
+
+
+def positional_encoding(
+    vectors: np.ndarray,
+    num_frequencies: int = DEFAULT_NUM_FREQUENCIES,
+    include_input: bool = True,
+) -> np.ndarray:
+    """Encode vectors with the standard NeRF frequency encoding.
+
+    Parameters
+    ----------
+    vectors:
+        ``(..., 3)`` array (typically unit view directions).
+    num_frequencies:
+        Number of octaves ``L``; frequencies are ``2**0 .. 2**(L-1)`` (times pi).
+    include_input:
+        Whether to prepend the raw vector to the encoding.
+
+    Returns
+    -------
+    ``(..., D)`` encoding with ``D = 3 * 2 * L (+ 3)``.
+    """
+    v = np.asarray(vectors, dtype=np.float32)
+    if v.shape[-1] != 3:
+        raise ValueError("positional_encoding expects (..., 3) inputs")
+    parts = [v] if include_input else []
+    for level in range(num_frequencies):
+        freq = np.float32((2.0 ** level) * np.pi)
+        parts.append(np.sin(freq * v))
+        parts.append(np.cos(freq * v))
+    return np.concatenate(parts, axis=-1)

@@ -1,0 +1,61 @@
+"""Image quality metrics (PSNR, MSE, SSIM).
+
+PSNR is the paper's quality metric (Fig. 6(b), Fig. 7).  SSIM is included for
+completeness; it follows the standard Gaussian-window formulation on
+luminance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.ndimage import uniform_filter
+
+__all__ = ["mse", "psnr", "ssim"]
+
+
+def mse(image: np.ndarray, reference: np.ndarray) -> float:
+    """Mean squared error between two images (any matching shape)."""
+    a = np.asarray(image, dtype=np.float64)
+    b = np.asarray(reference, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return float(np.mean((a - b) ** 2))
+
+
+def psnr(image: np.ndarray, reference: np.ndarray, max_value: float = 1.0) -> float:
+    """Peak signal-to-noise ratio in dB.
+
+    Identical images return ``inf``; the caller typically caps it (the paper's
+    plots top out around 35 dB).
+    """
+    error = mse(image, reference)
+    if error <= 0.0:
+        return float("inf")
+    return float(10.0 * np.log10((max_value ** 2) / error))
+
+
+def _to_luminance(image: np.ndarray) -> np.ndarray:
+    img = np.asarray(image, dtype=np.float64)
+    if img.ndim == 3 and img.shape[-1] == 3:
+        return img @ np.array([0.299, 0.587, 0.114])
+    return img
+
+
+def ssim(image: np.ndarray, reference: np.ndarray, window: int = 7, max_value: float = 1.0) -> float:
+    """Structural similarity index on luminance with a uniform window."""
+    x = _to_luminance(image)
+    y = _to_luminance(reference)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    c1 = (0.01 * max_value) ** 2
+    c2 = (0.03 * max_value) ** 2
+
+    mu_x = uniform_filter(x, size=window)
+    mu_y = uniform_filter(y, size=window)
+    sigma_x = uniform_filter(x * x, size=window) - mu_x ** 2
+    sigma_y = uniform_filter(y * y, size=window) - mu_y ** 2
+    sigma_xy = uniform_filter(x * y, size=window) - mu_x * mu_y
+
+    numerator = (2 * mu_x * mu_y + c1) * (2 * sigma_xy + c2)
+    denominator = (mu_x ** 2 + mu_y ** 2 + c1) * (sigma_x + sigma_y + c2)
+    return float(np.mean(numerator / denominator))

@@ -1,0 +1,214 @@
+"""The volumetric renderer and the dense-grid reference radiance field.
+
+:class:`VolumetricRenderer` walks rays through the scene bounding box,
+queries a :class:`RadianceField` for per-sample density and RGB, and
+composites them into an image.  The field abstraction is what lets the
+reference pipeline, the VQRF restore-based pipeline and the SpNeRF online
+decoding pipeline be compared with identical cameras, sampling and
+compositing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, Tuple
+
+import numpy as np
+
+from repro.grid.interpolation import trilinear_interpolate
+from repro.grid.voxel_grid import VoxelGrid
+from repro.nerf.encoding import positional_encoding
+from repro.nerf.mlp import MLP
+from repro.nerf.rays import Camera, RayBatch, generate_rays, ray_aabb_intersect, sample_along_rays
+from repro.nerf.volume_rendering import composite_rays
+
+__all__ = ["RadianceField", "DenseGridField", "RenderConfig", "VolumetricRenderer", "RenderStats"]
+
+
+class RadianceField(Protocol):
+    """Anything that can be volume-rendered.
+
+    ``query`` receives world-space sample points and matching unit view
+    directions and returns per-sample raw density ``(N,)`` and RGB ``(N, 3)``.
+    """
+
+    def query(self, points: np.ndarray, view_dirs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass
+class RenderConfig:
+    """Sampling and compositing parameters shared by all pipelines."""
+
+    num_samples: int = 64
+    near: float = 0.05
+    far: float = 12.0
+    background: Tuple[float, float, float] = (1.0, 1.0, 1.0)
+    chunk_size: int = 8192
+    stratified: bool = False
+    num_view_frequencies: int = 4
+
+
+@dataclass
+class RenderStats:
+    """Workload counters produced while rendering one image.
+
+    These are the quantities the hardware models consume: how many rays were
+    traced, how many samples were taken, how many of those landed in occupied
+    space (and therefore trigger grid lookups and an MLP evaluation).
+    """
+
+    num_rays: int = 0
+    num_samples: int = 0
+    num_active_samples: int = 0
+    num_vertex_lookups: int = 0
+
+    def merge(self, other: "RenderStats") -> None:
+        self.num_rays += other.num_rays
+        self.num_samples += other.num_samples
+        self.num_active_samples += other.num_active_samples
+        self.num_vertex_lookups += other.num_vertex_lookups
+
+
+class DenseGridField:
+    """Reference radiance field: dense voxel grid + MLP decoder.
+
+    Density is trilinearly interpolated from the grid's density channel; color
+    comes from the MLP applied to the interpolated 12-channel feature and the
+    encoded view direction.  This is the "ground truth" field the synthetic
+    dataset's images are rendered from, and also what VQRF reconstructs after
+    its restore step.
+    """
+
+    def __init__(self, grid: VoxelGrid, mlp: MLP, num_view_frequencies: int = 4) -> None:
+        self.grid = grid
+        self.mlp = mlp
+        self.num_view_frequencies = num_view_frequencies
+        self.last_stats = RenderStats()
+
+    def query(self, points: np.ndarray, view_dirs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        points = np.asarray(points, dtype=np.float64)
+        view_dirs = np.asarray(view_dirs, dtype=np.float64)
+        spec = self.grid.spec
+        inside = spec.contains(points)
+        n = points.shape[0]
+
+        density = np.zeros(n, dtype=np.float64)
+        rgb = np.zeros((n, 3), dtype=np.float64)
+        if not np.any(inside):
+            return density, rgb
+
+        grid_coords = spec.world_to_grid(points[inside])
+        resolution = spec.resolution
+
+        interp_density = trilinear_interpolate(
+            grid_coords,
+            lambda v: self.grid.density[v[:, 0], v[:, 1], v[:, 2]],
+            resolution,
+        )
+        interp_features = trilinear_interpolate(
+            grid_coords,
+            lambda v: self.grid.features[v[:, 0], v[:, 1], v[:, 2]],
+            resolution,
+        )
+
+        # Only samples that actually touch occupied space need the MLP: empty
+        # samples contribute neither opacity nor color, and skipping them is
+        # what makes sparse scenes cheap (the same early-out every voxel NeRF
+        # renderer performs).
+        active = (interp_density > 0.0) | np.any(interp_features != 0.0, axis=-1)
+        colors = np.zeros((grid_coords.shape[0], 3), dtype=np.float64)
+        if np.any(active):
+            encoded_dirs = positional_encoding(
+                view_dirs[inside][active], self.num_view_frequencies
+            )
+            mlp_in = np.concatenate([interp_features[active], encoded_dirs], axis=-1)
+            colors[active] = self.mlp.forward(mlp_in)
+
+        density[inside] = interp_density
+        rgb[inside] = colors
+
+        self.last_stats = RenderStats(
+            num_rays=0,
+            num_samples=n,
+            num_active_samples=int(active.sum()),
+            num_vertex_lookups=int(inside.sum()) * 8,
+        )
+        return density, rgb
+
+
+class VolumetricRenderer:
+    """Renders images (or pixel subsets) of any :class:`RadianceField`."""
+
+    def __init__(self, field: RadianceField, config: Optional[RenderConfig] = None) -> None:
+        self.field = field
+        self.config = config or RenderConfig()
+        self.last_stats = RenderStats()
+
+    # ------------------------------------------------------------------
+    def render_rays(self, rays: RayBatch, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Render a batch of rays to ``(N, 3)`` pixel colors."""
+        cfg = self.config
+        points, t_values = sample_along_rays(
+            rays, cfg.num_samples, stratified=cfg.stratified, rng=rng
+        )
+        n, s, _ = points.shape
+        flat_points = points.reshape(-1, 3)
+        flat_dirs = np.repeat(rays.directions, s, axis=0)
+
+        density, rgb = self.field.query(flat_points, flat_dirs)
+        density = density.reshape(n, s)
+        rgb = rgb.reshape(n, s, 3)
+
+        pixels, _, _ = composite_rays(
+            density, rgb, t_values, background=np.asarray(cfg.background)
+        )
+
+        stats = getattr(self.field, "last_stats", None)
+        batch_stats = RenderStats(num_rays=n, num_samples=n * s)
+        if stats is not None:
+            batch_stats.num_active_samples = stats.num_active_samples
+            batch_stats.num_vertex_lookups = stats.num_vertex_lookups
+        self.last_stats.merge(batch_stats)
+        return pixels
+
+    # ------------------------------------------------------------------
+    def render_image(
+        self,
+        camera: Camera,
+        bbox_min: Tuple[float, float, float],
+        bbox_max: Tuple[float, float, float],
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Render a full image from ``camera``, returning ``(H, W, 3)`` in [0, 1]."""
+        cfg = self.config
+        self.last_stats = RenderStats()
+        rays = generate_rays(camera, near=cfg.near, far=cfg.far)
+        rays = ray_aabb_intersect(rays, bbox_min, bbox_max)
+
+        pixels = np.zeros((rays.num_rays, 3), dtype=np.float64)
+        for start in range(0, rays.num_rays, cfg.chunk_size):
+            end = min(start + cfg.chunk_size, rays.num_rays)
+            chunk = RayBatch(
+                rays.origins[start:end],
+                rays.directions[start:end],
+                rays.near[start:end],
+                rays.far[start:end],
+            )
+            pixels[start:end] = self.render_rays(chunk, rng=rng)
+        return np.clip(pixels.reshape(camera.height, camera.width, 3), 0.0, 1.0)
+
+    # ------------------------------------------------------------------
+    def render_pixels(
+        self,
+        camera: Camera,
+        pixel_indices: np.ndarray,
+        bbox_min: Tuple[float, float, float],
+        bbox_max: Tuple[float, float, float],
+    ) -> np.ndarray:
+        """Render only selected pixels (used by the fast PSNR sweeps)."""
+        cfg = self.config
+        self.last_stats = RenderStats()
+        rays = generate_rays(camera, near=cfg.near, far=cfg.far, pixel_indices=pixel_indices)
+        rays = ray_aabb_intersect(rays, bbox_min, bbox_max)
+        return np.clip(self.render_rays(rays), 0.0, 1.0)

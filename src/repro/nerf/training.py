@@ -1,0 +1,126 @@
+"""Gradient-based fitting of the decoder MLP.
+
+The repository's default decoder is constructed analytically
+(:func:`repro.nerf.mlp.build_decoder_mlp`), but the paper's pipeline assumes a
+*trained* VQRF model.  This module provides a small numpy Adam trainer that
+fits the 39 -> 128 -> 128 -> 3 decoder to (feature, view, color) samples so
+users can reproduce the full "train a decoder, compress it, accelerate it"
+story end to end without PyTorch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nerf.mlp import MLP, MLPSpec
+
+__all__ = ["TrainingResult", "train_decoder_mlp"]
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of :func:`train_decoder_mlp`."""
+
+    mlp: MLP
+    losses: List[float]
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def train_decoder_mlp(
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    spec: Optional[MLPSpec] = None,
+    num_steps: int = 300,
+    batch_size: int = 512,
+    learning_rate: float = 1e-2,
+    seed: int = 0,
+    init: Optional[MLP] = None,
+) -> TrainingResult:
+    """Fit an MLP to map decoder inputs to RGB targets with Adam + MSE.
+
+    Parameters
+    ----------
+    inputs:
+        ``(N, input_dim)`` training inputs (feature ++ encoded view direction).
+    targets:
+        ``(N, 3)`` RGB targets in [0, 1].
+    spec:
+        Network shape; defaults to the paper's 39 -> 128 -> 128 -> 3.
+    num_steps, batch_size, learning_rate, seed:
+        Optimisation hyper-parameters.
+    init:
+        Optional starting network (e.g. the analytic decoder) to fine-tune.
+    """
+    inputs = np.asarray(inputs, dtype=np.float32)
+    targets = np.asarray(targets, dtype=np.float32)
+    if inputs.ndim != 2 or targets.ndim != 2 or targets.shape[1] != 3:
+        raise ValueError("inputs must be (N, D) and targets (N, 3)")
+    if inputs.shape[0] != targets.shape[0]:
+        raise ValueError("inputs and targets must have the same number of rows")
+
+    if spec is None:
+        spec = MLPSpec(input_dim=inputs.shape[1], hidden_dims=(128, 128), output_dim=3)
+    mlp = init.copy() if init is not None else MLP.random(spec, seed=seed, scale=0.5)
+
+    rng = np.random.default_rng(seed)
+    params = mlp.weights + mlp.biases
+    m = [np.zeros_like(p) for p in params]
+    v = [np.zeros_like(p) for p in params]
+    beta1, beta2, eps = 0.9, 0.999, 1e-8
+
+    losses: List[float] = []
+    n = inputs.shape[0]
+    for step in range(1, num_steps + 1):
+        idx = rng.integers(0, n, size=min(batch_size, n))
+        x = inputs[idx]
+        y = targets[idx]
+
+        # Forward pass, keeping pre-activations for the backward pass.
+        pre_acts = []
+        acts = [x]
+        h = x
+        for layer, (w, b) in enumerate(zip(mlp.weights, mlp.biases)):
+            z = h @ w + b
+            pre_acts.append(z)
+            if layer < len(mlp.weights) - 1:
+                h = np.maximum(z, 0.0)
+            else:
+                h = z
+            acts.append(h)
+        pred = _sigmoid(acts[-1])
+        diff = pred - y
+        loss = float(np.mean(diff ** 2))
+        losses.append(loss)
+
+        # Backward pass (MSE through sigmoid, ReLU hidden layers).
+        batch = x.shape[0]
+        grad = (2.0 / (batch * 3)) * diff * pred * (1.0 - pred)
+        grads_w = [np.zeros_like(w) for w in mlp.weights]
+        grads_b = [np.zeros_like(b) for b in mlp.biases]
+        for layer in reversed(range(len(mlp.weights))):
+            grads_w[layer] = acts[layer].T @ grad
+            grads_b[layer] = grad.sum(axis=0)
+            if layer > 0:
+                grad = grad @ mlp.weights[layer].T
+                grad = grad * (pre_acts[layer - 1] > 0.0)
+
+        # Adam update.
+        grads = grads_w + grads_b
+        for i, (p, g) in enumerate(zip(params, grads)):
+            m[i] = beta1 * m[i] + (1 - beta1) * g
+            v[i] = beta2 * v[i] + (1 - beta2) * (g * g)
+            m_hat = m[i] / (1 - beta1 ** step)
+            v_hat = v[i] / (1 - beta2 ** step)
+            p -= learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+
+    return TrainingResult(mlp=mlp, losses=losses)

@@ -1,0 +1,98 @@
+"""Volume rendering (alpha compositing) along rays.
+
+Standard emission-absorption model shared by every renderer in the
+repository: raw densities are mapped through a softplus, converted to
+per-sample alphas using the inter-sample distance, and composited
+front-to-back with an optional solid background color (Synthetic-NeRF uses a
+white background).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["softplus", "density_to_alpha", "compute_weights", "composite_rays"]
+
+
+def softplus(x: np.ndarray, beta: float = 1.0) -> np.ndarray:
+    """Numerically stable softplus activation for raw densities."""
+    bx = beta * np.asarray(x, dtype=np.float64)
+    return np.where(bx > 20.0, bx, np.log1p(np.exp(np.minimum(bx, 20.0)))) / beta
+
+
+def density_to_alpha(raw_density: np.ndarray, deltas: np.ndarray) -> np.ndarray:
+    """Convert raw densities and segment lengths to per-sample opacities.
+
+    ``alpha = 1 - exp(-max(density, 0) * delta)``
+
+    The grids in this repository store non-negative extinction coefficients
+    directly (empty space is exactly zero), so the activation is a ReLU rather
+    than DVGO's shifted softplus — zero density must map to exactly zero
+    opacity or empty space would render as fog.  :func:`softplus` is kept for
+    callers that hold pre-activation densities.
+    """
+    sigma = np.maximum(np.asarray(raw_density, dtype=np.float64), 0.0)
+    return 1.0 - np.exp(-sigma * np.asarray(deltas, dtype=np.float64))
+
+
+def compute_weights(alphas: np.ndarray) -> np.ndarray:
+    """Front-to-back compositing weights ``w_i = alpha_i * prod_{j<i}(1 - alpha_j)``."""
+    alphas = np.asarray(alphas, dtype=np.float64)
+    transmittance = np.cumprod(1.0 - alphas + 1e-10, axis=-1)
+    transmittance = np.concatenate(
+        [np.ones_like(transmittance[..., :1]), transmittance[..., :-1]], axis=-1
+    )
+    return alphas * transmittance
+
+
+def composite_rays(
+    raw_density: np.ndarray,
+    rgb: np.ndarray,
+    t_values: np.ndarray,
+    background: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Composite per-sample densities and colors into per-ray pixels.
+
+    Parameters
+    ----------
+    raw_density:
+        ``(N, S)`` raw densities along each ray.
+    rgb:
+        ``(N, S, 3)`` per-sample colors in [0, 1].
+    t_values:
+        ``(N, S)`` sample positions along each ray (used for segment lengths).
+    background:
+        Optional ``(3,)`` background color blended where rays stay transparent
+        (Synthetic-NeRF evaluates against white).
+
+    Returns
+    -------
+    (pixels, weights, accumulated_alpha):
+        ``(N, 3)`` pixel colors, ``(N, S)`` compositing weights and ``(N,)``
+        total opacity per ray.
+    """
+    raw_density = np.asarray(raw_density, dtype=np.float64)
+    rgb = np.asarray(rgb, dtype=np.float64)
+    t_values = np.asarray(t_values, dtype=np.float64)
+    if raw_density.shape != t_values.shape:
+        raise ValueError("raw_density and t_values must have the same shape")
+    if rgb.shape[:2] != raw_density.shape or rgb.shape[2] != 3:
+        raise ValueError("rgb must have shape (N, S, 3) matching raw_density")
+
+    deltas = np.diff(t_values, axis=-1)
+    # Use the trailing delta for the last sample so every sample has a length.
+    last = deltas[..., -1:] if deltas.shape[-1] else np.ones_like(t_values[..., :1])
+    deltas = np.concatenate([deltas, last], axis=-1)
+    deltas = np.maximum(deltas, 1e-10)
+
+    alphas = density_to_alpha(raw_density, deltas)
+    weights = compute_weights(alphas)
+    pixels = np.einsum("ns,nsc->nc", weights, rgb)
+    accumulated = weights.sum(axis=-1)
+
+    if background is not None:
+        background = np.asarray(background, dtype=np.float64)
+        pixels = pixels + (1.0 - accumulated)[:, None] * background[None, :]
+    return pixels, weights, accumulated

@@ -1,0 +1,35 @@
+"""VQRF baseline (Compressing Volumetric Radiance Fields to 1 MB).
+
+SpNeRF is built *on top of* VQRF's compressed representation: VQRF prunes
+unimportant voxels, keeps the most important ones uncompressed ("true" voxels)
+and vector-quantizes the rest into a 4096-entry, 12-channel codebook.  The
+original VQRF rendering flow, however, **restores the full dense voxel grid**
+before rendering — the step whose memory traffic SpNeRF eliminates.
+
+This package implements that baseline from scratch:
+
+* :mod:`~repro.vqrf.importance` — per-voxel importance scoring (heuristic and
+  ray-accumulated variants).
+* :mod:`~repro.vqrf.pruning` — importance-quantile pruning.
+* :mod:`~repro.vqrf.vector_quantization` — k-means codebook construction.
+* :mod:`~repro.vqrf.model` — the compressed :class:`VQRFModel`, its
+  restore-to-dense flow, byte-exact size accounting and the
+  :class:`VQRFField` used to render baseline images.
+"""
+
+from repro.vqrf.importance import importance_from_density, importance_from_rays
+from repro.vqrf.model import VQRFModel, VQRFField, compress_scene
+from repro.vqrf.pruning import PruningResult, prune_by_importance
+from repro.vqrf.vector_quantization import VectorQuantizer, build_codebook
+
+__all__ = [
+    "importance_from_density",
+    "importance_from_rays",
+    "PruningResult",
+    "prune_by_importance",
+    "VectorQuantizer",
+    "build_codebook",
+    "VQRFModel",
+    "VQRFField",
+    "compress_scene",
+]

@@ -1,0 +1,99 @@
+"""Importance-quantile voxel pruning.
+
+VQRF discards the least important voxels entirely and splits the survivors
+into a small "keep uncompressed" set (the true voxel grid) and a larger
+"vector-quantize" set.  :func:`prune_by_importance` performs that three-way
+split on a :class:`~repro.grid.voxel_grid.SparseVoxelGrid`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grid.voxel_grid import SparseVoxelGrid
+
+__all__ = ["PruningResult", "prune_by_importance"]
+
+
+@dataclass
+class PruningResult:
+    """Index sets produced by the three-way importance split.
+
+    All arrays index into the originating sparse grid's rows.
+    """
+
+    pruned_indices: np.ndarray
+    quantized_indices: np.ndarray
+    kept_indices: np.ndarray
+
+    @property
+    def num_pruned(self) -> int:
+        return int(self.pruned_indices.size)
+
+    @property
+    def num_quantized(self) -> int:
+        return int(self.quantized_indices.size)
+
+    @property
+    def num_kept(self) -> int:
+        return int(self.kept_indices.size)
+
+    @property
+    def num_survivors(self) -> int:
+        """Voxels that remain in the compressed model (quantized + kept)."""
+        return self.num_quantized + self.num_kept
+
+
+def prune_by_importance(
+    sparse: SparseVoxelGrid,
+    importance: np.ndarray,
+    prune_fraction: float = 0.05,
+    keep_fraction: float = 0.30,
+) -> PruningResult:
+    """Split occupied voxels into pruned / vector-quantized / kept sets.
+
+    Parameters
+    ----------
+    sparse:
+        The occupied voxels of one scene.
+    importance:
+        ``(N,)`` importance score per occupied voxel.
+    prune_fraction:
+        Fraction of the *least* important voxels to discard entirely.
+    keep_fraction:
+        Fraction of the *most* important voxels to store uncompressed in the
+        true voxel grid (VQRF keeps ~1-30 % depending on scene budget).
+
+    Notes
+    -----
+    ``prune_fraction + keep_fraction`` must be < 1; the middle band is
+    vector-quantized.
+    """
+    importance = np.asarray(importance, dtype=np.float64)
+    if importance.shape != (sparse.num_points,):
+        raise ValueError(
+            f"importance must have shape ({sparse.num_points},), got {importance.shape}"
+        )
+    if not 0.0 <= prune_fraction < 1.0:
+        raise ValueError("prune_fraction must be in [0, 1)")
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError("keep_fraction must be in (0, 1]")
+    if prune_fraction + keep_fraction > 1.0:
+        raise ValueError("prune_fraction + keep_fraction must not exceed 1")
+
+    n = sparse.num_points
+    order = np.argsort(importance, kind="stable")  # ascending importance
+    num_pruned = int(np.floor(prune_fraction * n))
+    num_kept = int(np.ceil(keep_fraction * n))
+    num_kept = min(num_kept, n - num_pruned)
+
+    pruned = order[:num_pruned]
+    kept = order[n - num_kept :] if num_kept > 0 else np.empty(0, dtype=np.int64)
+    quantized = order[num_pruned : n - num_kept]
+    return PruningResult(
+        pruned_indices=np.sort(pruned),
+        quantized_indices=np.sort(quantized),
+        kept_indices=np.sort(kept),
+    )

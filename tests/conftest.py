@@ -1,0 +1,129 @@
+"""Shared fixtures.
+
+All fixtures are deliberately small (tiny grids, few pixels, small codebooks)
+so the full suite runs in a couple of minutes; the paper-scale configurations
+are exercised by the benchmark harnesses instead.  Expensive objects are
+session-scoped and never mutated by tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SpNeRFConfig
+from repro.core.pipeline import SpNeRFBundle, build_spnerf_from_scene
+from repro.datasets.synthetic import SyntheticScene, load_scene
+from repro.grid.voxel_grid import GridSpec, SparseVoxelGrid, VoxelGrid
+from repro.hardware.workload import FrameWorkload, workload_from_scene
+from repro.vqrf.model import VQRFModel, compress_scene
+
+#: Small-but-meaningful defaults shared by the fixtures below.
+TEST_RESOLUTION = 32
+TEST_IMAGE_SIZE = 40
+TEST_SAMPLES = 32
+TEST_CODEBOOK = 64
+TEST_CONFIG = SpNeRFConfig(num_subgrids=8, hash_table_size=1024, codebook_size=TEST_CODEBOOK)
+
+
+@pytest.fixture(scope="session")
+def small_scene() -> SyntheticScene:
+    """A small lego scene shared (read-only) across the suite."""
+    return load_scene(
+        "lego",
+        resolution=TEST_RESOLUTION,
+        image_size=TEST_IMAGE_SIZE,
+        num_views=2,
+        num_samples=TEST_SAMPLES,
+    )
+
+
+@pytest.fixture(scope="session")
+def sparse_scene() -> SyntheticScene:
+    """A sparser scene (ficus) for occupancy-sensitive tests."""
+    return load_scene(
+        "ficus",
+        resolution=TEST_RESOLUTION,
+        image_size=TEST_IMAGE_SIZE,
+        num_views=2,
+        num_samples=TEST_SAMPLES,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_sparse_grid(small_scene) -> SparseVoxelGrid:
+    return small_scene.sparse_grid
+
+
+@pytest.fixture(scope="session")
+def vqrf_model(small_scene) -> VQRFModel:
+    """VQRF compression of the small scene with a small codebook."""
+    return compress_scene(
+        small_scene.sparse_grid,
+        codebook_size=TEST_CODEBOOK,
+        prune_fraction=0.05,
+        keep_fraction=0.3,
+        kmeans_iterations=3,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def spnerf_bundle(small_scene, vqrf_model) -> SpNeRFBundle:
+    """Full scene -> VQRF -> SpNeRF bundle used by pipeline-level tests."""
+    return build_spnerf_from_scene(small_scene, TEST_CONFIG, vqrf_model=vqrf_model)
+
+
+@pytest.fixture(scope="session")
+def frame_workload(small_scene, spnerf_bundle) -> FrameWorkload:
+    """Analytic per-frame workload for hardware tests."""
+    return workload_from_scene(
+        small_scene, spnerf_memory=spnerf_bundle.spnerf_model.memory_breakdown()
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def tiny_grid() -> VoxelGrid:
+    """A hand-filled 8^3 grid with a handful of occupied vertices."""
+    spec = GridSpec(resolution=8, feature_dim=4)
+    grid = VoxelGrid(spec)
+    occupied = [(1, 2, 3), (4, 4, 4), (7, 0, 5), (2, 6, 1)]
+    for i, (x, y, z) in enumerate(occupied):
+        grid.density[x, y, z] = 5.0 + i
+        grid.features[x, y, z] = np.arange(4) * 0.1 + i
+    return grid
+
+
+@pytest.fixture(scope="session")
+def paper_workload() -> FrameWorkload:
+    """A paper-scale frame workload (160^3 grid, 800x800 frame).
+
+    Hardware "shape" tests (memory-bound edge GPUs, real-time SpNeRF, power
+    breakdown) assert against this workload so they reflect the regime the
+    paper evaluates, independent of the deliberately tiny test scenes.
+    """
+    spnerf_memory = {
+        "hash_tables": 64 * 32768 * 4,
+        "bitmap": 160 ** 3 // 8,
+        "codebook": 4096 * 12 * 2,
+        "true_voxel_grid": 54_000 * 12,
+    }
+    spnerf_memory["total"] = sum(spnerf_memory.values())
+    return FrameWorkload(
+        scene_name="paper-average",
+        samples_per_ray=192,
+        inside_fraction=0.65,
+        active_samples_per_ray=2.2,
+        processed_samples_per_ray=110.0,
+        occupancy=0.044,
+        grid_resolution=160,
+        num_nonzero_voxels=180_000,
+        spnerf_memory=spnerf_memory,
+        vqrf_restored_bytes=160 ** 3 * 13 * 4,
+        vqrf_compressed_bytes=3_000_000,
+    )

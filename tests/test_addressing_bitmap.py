@@ -1,0 +1,100 @@
+"""Tests for the unified 18-bit address space and the occupancy bitmap."""
+
+import numpy as np
+import pytest
+
+from repro.core.addressing import (
+    CODEBOOK_REGION_SIZE,
+    UNIFIED_ADDRESS_BITS,
+    UnifiedAddressSpace,
+)
+from repro.core.bitmap import OccupancyBitmap
+
+
+class TestUnifiedAddressSpace:
+    def test_paper_constants(self):
+        assert UNIFIED_ADDRESS_BITS == 18
+        assert CODEBOOK_REGION_SIZE == 4096
+        space = UnifiedAddressSpace()
+        assert space.capacity == 2 ** 18
+        assert space.true_grid_capacity == 2 ** 18 - 4096
+
+    def test_codebook_region_is_identity(self):
+        space = UnifiedAddressSpace(codebook_size=4096)
+        idx = np.array([0, 17, 4095])
+        assert np.array_equal(space.encode_codebook(idx), idx)
+
+    def test_true_grid_region_offset(self):
+        space = UnifiedAddressSpace(codebook_size=4096)
+        rows = np.array([0, 5, 100])
+        unified = space.encode_true_grid(rows)
+        assert np.array_equal(unified, rows + 4096)
+
+    def test_decode_splits_regions(self):
+        space = UnifiedAddressSpace(codebook_size=4096)
+        unified = np.array([10, 4095, 4096, 5000])
+        is_cb, local = space.decode(unified)
+        assert list(is_cb) == [True, True, False, False]
+        assert list(local) == [10, 4095, 0, 904]
+
+    def test_decode_encode_roundtrip(self):
+        space = UnifiedAddressSpace(codebook_size=256, address_bits=12)
+        rows = np.arange(100)
+        is_cb, local = space.decode(space.encode_true_grid(rows))
+        assert not np.any(is_cb)
+        assert np.array_equal(local, rows)
+
+    def test_out_of_range_rejected(self):
+        space = UnifiedAddressSpace(codebook_size=256, address_bits=10)
+        with pytest.raises(ValueError):
+            space.encode_codebook(np.array([256]))
+        with pytest.raises(ValueError):
+            space.encode_true_grid(np.array([1024 - 256]))
+        with pytest.raises(ValueError):
+            space.decode(np.array([1024]))
+
+    def test_codebook_must_fit(self):
+        with pytest.raises(ValueError):
+            UnifiedAddressSpace(codebook_size=1024, address_bits=10)
+
+
+class TestOccupancyBitmap:
+    def test_memory_is_one_bit_per_vertex(self):
+        bitmap = OccupancyBitmap(32, np.zeros((0, 3), dtype=int))
+        assert bitmap.memory_bytes == 32 ** 3 // 8
+
+    def test_lookup_matches_positions(self, rng):
+        positions = rng.integers(0, 16, size=(200, 3))
+        positions = np.unique(positions, axis=0)
+        bitmap = OccupancyBitmap(16, positions)
+        assert bitmap.num_occupied == positions.shape[0]
+        assert np.all(bitmap.lookup(positions))
+
+    def test_lookup_empty_vertices_false(self, rng):
+        positions = np.array([[1, 1, 1], [2, 3, 4]])
+        bitmap = OccupancyBitmap(8, positions)
+        others = np.array([[0, 0, 0], [7, 7, 7], [1, 1, 2]])
+        assert not np.any(bitmap.lookup(others))
+
+    def test_out_of_range_lookup_is_false(self):
+        bitmap = OccupancyBitmap(8, np.array([[1, 1, 1]]))
+        assert not bitmap.lookup(np.array([[8, 0, 0], [-1, 2, 2]])).any()
+
+    def test_to_dense_roundtrip(self, rng):
+        positions = np.unique(rng.integers(0, 12, size=(64, 3)), axis=0)
+        bitmap = OccupancyBitmap(12, positions)
+        dense = bitmap.to_dense()
+        assert dense.sum() == positions.shape[0]
+        assert np.all(dense[positions[:, 0], positions[:, 1], positions[:, 2]])
+
+    def test_position_validation(self):
+        with pytest.raises(ValueError):
+            OccupancyBitmap(8, np.array([[8, 0, 0]]))
+        with pytest.raises(ValueError):
+            OccupancyBitmap(0, np.zeros((0, 3), dtype=int))
+
+    def test_matches_sparse_grid_bitmap(self, small_sparse_grid):
+        bitmap = OccupancyBitmap(
+            small_sparse_grid.spec.resolution, small_sparse_grid.positions
+        )
+        assert np.array_equal(bitmap.to_dense(), small_sparse_grid.occupancy_bitmap())

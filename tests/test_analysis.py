@@ -1,0 +1,130 @@
+"""Tests for the analysis/experiment drivers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparison import (
+    area_power_breakdowns,
+    compare_against_edge_platforms,
+    comparison_table,
+)
+from repro.analysis.memory import (
+    average_reduction,
+    encoding_overhead_report,
+    memory_reduction_study,
+)
+from repro.analysis.profiling import platform_table, runtime_distribution_study, sparsity_study
+from repro.analysis.quality import psnr_study
+from repro.analysis.reporting import format_mapping, format_table
+from repro.analysis.sweep import hash_table_size_sweep, subgrid_sweep
+from repro.hardware.accelerator import SpNeRFAccelerator
+
+
+@pytest.fixture(scope="module")
+def accelerator():
+    return SpNeRFAccelerator()
+
+
+class TestProfiling:
+    def test_platform_table_rows(self):
+        rows = platform_table()
+        assert [r["platform"] for r in rows] == ["A100", "Jetson Orin NX", "Jetson Xavier NX"]
+        assert rows[2]["dram_bandwidth_gbps"] == pytest.approx(59.7)
+
+    def test_runtime_distribution_fractions(self, paper_workload):
+        rows = runtime_distribution_study([paper_workload])
+        for row in rows:
+            total = row.memory_fraction + row.compute_fraction + row.other_fraction
+            assert total == pytest.approx(1.0)
+        by_name = {r.platform: r for r in rows}
+        assert by_name["Jetson Xavier NX"].memory_fraction > by_name["A100"].memory_fraction
+
+    def test_sparsity_study(self, small_scene, sparse_scene):
+        rows = sparsity_study([small_scene, sparse_scene])
+        assert len(rows) == 2
+        for row in rows:
+            assert row["nonzero_fraction"] + row["sparsity"] == pytest.approx(1.0)
+            assert row["nonzero_fraction"] < 0.25
+
+
+class TestMemoryAnalysis:
+    def test_memory_reduction_positive(self, spnerf_bundle):
+        results = memory_reduction_study([spnerf_bundle])
+        assert results[0].reduction_factor > 1.0
+        assert results[0].spnerf_breakdown["total"] == results[0].spnerf_bytes
+
+    def test_average_reduction(self, spnerf_bundle):
+        results = memory_reduction_study([spnerf_bundle])
+        assert average_reduction(results) == pytest.approx(results[0].reduction_factor)
+        assert average_reduction([]) == 0.0
+
+    def test_encoding_overhead_report(self, small_scene):
+        rows = encoding_overhead_report([small_scene])
+        assert rows[0]["coo_overhead_kb"] > rows[0]["csr_overhead_kb"] / 10
+        assert rows[0]["coo_lookups"] >= 1.0
+
+
+class TestQualityAnalysis:
+    def test_psnr_study_ordering(self, spnerf_bundle):
+        results = psnr_study([spnerf_bundle], num_pixels=400, seed=1)
+        row = results[0]
+        # Masked SpNeRF must be comparable to VQRF; unmasked must be clearly worse.
+        assert row.psnr_spnerf_masked > row.psnr_spnerf_unmasked
+        assert row.psnr_spnerf_masked > row.psnr_vqrf - 5.0
+        assert row.masking_gain_db > 0.0
+
+
+class TestSweeps:
+    def test_hash_table_sweep_saturates(self, spnerf_bundle):
+        rows = hash_table_size_sweep(
+            spnerf_bundle,
+            table_sizes=(64, 4096),
+            num_subgrids=8,
+            num_pixels=300,
+        )
+        assert rows[-1]["psnr"] >= rows[0]["psnr"] - 0.5
+        assert rows[-1]["collision_rate"] <= rows[0]["collision_rate"]
+
+    def test_subgrid_sweep_monotone_memory(self, spnerf_bundle):
+        rows = subgrid_sweep(
+            spnerf_bundle,
+            subgrid_counts=(1, 8),
+            hash_table_size=512,
+            num_pixels=300,
+        )
+        assert rows[1]["memory_bytes"] > rows[0]["memory_bytes"]
+
+
+class TestComparison:
+    def test_edge_platform_comparison(self, accelerator, paper_workload):
+        rows = compare_against_edge_platforms(accelerator, [paper_workload])
+        row = rows[0]
+        assert row.speedup_vs_xnx > 10.0
+        assert row.speedup_vs_onx > 5.0
+        assert row.energy_eff_vs_xnx > row.speedup_vs_xnx  # power also improves
+        assert row.speedup_vs_xnx > row.speedup_vs_onx
+
+    def test_comparison_table_structure(self, accelerator, paper_workload):
+        table = comparison_table(accelerator, [paper_workload])
+        names = [row["accelerator"] for row in table.rows]
+        assert names == ["RT-NeRF.Edge", "NeuRex.Edge", "SpNeRF (Ours)"]
+        assert table.speedup_over("NeuRex.Edge") > table.speedup_over("RT-NeRF.Edge")
+        assert table.energy_efficiency_gain_over("RT-NeRF.Edge") > 1.0
+
+    def test_area_power_breakdowns(self, accelerator, paper_workload):
+        result = area_power_breakdowns(accelerator, paper_workload)
+        assert sum(result["area_fraction"].values()) == pytest.approx(1.0)
+        assert sum(result["power_fraction"].values()) == pytest.approx(1.0)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["long-cell", 0.001]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_mapping(self):
+        text = format_mapping({"x": 1, "y": 2.0})
+        assert "x" in text and "y" in text

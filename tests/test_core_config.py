@@ -1,0 +1,46 @@
+"""Tests for SpNeRFConfig."""
+
+import pytest
+
+from repro.core.config import SpNeRFConfig
+
+
+def test_paper_defaults():
+    cfg = SpNeRFConfig()
+    assert cfg.num_subgrids == 64
+    assert cfg.hash_table_size == 32768
+    assert cfg.codebook_size == 4096
+    assert cfg.address_bits == 18
+    assert cfg.use_bitmap_masking is True
+
+
+def test_address_capacity():
+    cfg = SpNeRFConfig()
+    assert cfg.address_capacity == 2 ** 18
+    assert cfg.true_grid_capacity == 2 ** 18 - 4096
+
+
+def test_total_hash_entries():
+    cfg = SpNeRFConfig(num_subgrids=16, hash_table_size=2048)
+    assert cfg.total_hash_entries == 16 * 2048
+
+
+def test_with_updates_returns_new_config():
+    cfg = SpNeRFConfig()
+    swept = cfg.with_updates(hash_table_size=1024)
+    assert swept.hash_table_size == 1024
+    assert cfg.hash_table_size == 32768
+    assert swept.num_subgrids == cfg.num_subgrids
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SpNeRFConfig(num_subgrids=0)
+    with pytest.raises(ValueError):
+        SpNeRFConfig(hash_table_size=0)
+    with pytest.raises(ValueError):
+        SpNeRFConfig(codebook_size=0)
+    with pytest.raises(ValueError):
+        SpNeRFConfig(address_bits=40)
+    with pytest.raises(ValueError):
+        SpNeRFConfig(codebook_size=2 ** 18, address_bits=18)

@@ -1,0 +1,116 @@
+"""Tests for the procedural Synthetic-NeRF-analog dataset."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.cameras import camera_rig, synthetic_nerf_camera
+from repro.datasets.scenes import SCENE_NAMES, build_scene_grid, scene_spec
+from repro.datasets.synthetic import load_all_scenes, load_scene
+
+
+class TestSceneSpecs:
+    def test_all_eight_scenes_present(self):
+        assert len(SCENE_NAMES) == 8
+        assert set(SCENE_NAMES) == {
+            "chair", "drums", "ficus", "hotdog", "lego", "materials", "mic", "ship",
+        }
+
+    def test_targets_follow_paper_range(self):
+        # Fig. 2(b): non-zero fraction between 2.01 % and 6.48 %.
+        for name in SCENE_NAMES:
+            spec = scene_spec(name)
+            assert 0.02 <= spec.target_occupancy <= 0.065
+
+    def test_unknown_scene_rejected(self):
+        with pytest.raises(KeyError):
+            scene_spec("bulldozer")
+
+
+class TestSceneGrids:
+    @pytest.mark.parametrize("name", ["lego", "ficus", "ship"])
+    def test_grid_occupancy_is_sparse(self, name):
+        grid = build_scene_grid(name, resolution=48)
+        occupancy = grid.occupancy_fraction()
+        assert 0.005 < occupancy < 0.20
+
+    def test_occupancy_approaches_target_at_higher_resolution(self):
+        grid = build_scene_grid("hotdog", resolution=64)
+        target = scene_spec("hotdog").target_occupancy
+        assert grid.occupancy_fraction() <= target * 1.3
+
+    def test_features_store_logit_albedo(self):
+        grid = build_scene_grid("chair", resolution=32)
+        occupied = grid.occupancy_mask()
+        features = grid.features[occupied]
+        albedo = 1.0 / (1.0 + np.exp(-features[:, :3]))
+        assert np.all(albedo > 0.0)
+        assert np.all(albedo < 1.0)
+
+    def test_density_constant_inside_object(self):
+        grid = build_scene_grid("mic", resolution=32)
+        occupied = grid.occupancy_mask()
+        assert np.all(grid.density[occupied] > 0.0)
+        assert np.all(grid.density[~occupied] == 0.0)
+
+    def test_deterministic_given_seed(self):
+        a = build_scene_grid("drums", resolution=24, seed=3)
+        b = build_scene_grid("drums", resolution=24, seed=3)
+        assert np.array_equal(a.density, b.density)
+        assert np.array_equal(a.features, b.features)
+
+    def test_different_scenes_differ(self):
+        a = build_scene_grid("lego", resolution=24)
+        b = build_scene_grid("ship", resolution=24)
+        assert not np.array_equal(a.density, b.density)
+
+
+class TestCameras:
+    def test_full_resolution_matches_synthetic_nerf(self):
+        camera = synthetic_nerf_camera(azimuth_deg=30.0)
+        assert camera.width == 800
+        assert camera.height == 800
+        assert camera.focal == pytest.approx(1111.111)
+
+    def test_scaled_resolution_preserves_fov(self):
+        full = synthetic_nerf_camera(0.0)
+        small = synthetic_nerf_camera(0.0, width=100, height=100)
+        assert small.focal / small.width == pytest.approx(full.focal / full.width)
+
+    def test_rig_spacing(self):
+        rig = camera_rig(num_views=8, width=64, height=64)
+        assert len(rig) == 8
+        positions = np.array([c.position for c in rig])
+        radii = np.linalg.norm(positions, axis=1)
+        assert np.allclose(radii, radii[0])
+
+    def test_rig_rejects_zero_views(self):
+        with pytest.raises(ValueError):
+            camera_rig(num_views=0)
+
+
+class TestSyntheticScene:
+    def test_load_scene_bundles_everything(self, small_scene):
+        assert small_scene.name == "lego"
+        assert len(small_scene.cameras) == 2
+        assert small_scene.mlp.spec.input_dim == 39
+
+    def test_sparse_grid_cached(self, small_scene):
+        assert small_scene.sparse_grid is small_scene.sparse_grid
+
+    def test_reference_image_cached(self, small_scene):
+        first = small_scene.reference_image(0)
+        second = small_scene.reference_image(0)
+        assert first is second
+
+    def test_workload_summary_consistent(self, small_scene):
+        summary = small_scene.workload_summary()
+        assert summary["num_nonzero"] == small_scene.sparse_grid.num_points
+        assert summary["occupancy"] == pytest.approx(small_scene.occupancy_fraction())
+
+    def test_load_all_scenes_names(self):
+        scenes = load_all_scenes(resolution=16, image_size=20, num_views=1, num_samples=8)
+        assert [s.name for s in scenes] == list(SCENE_NAMES)
+
+    def test_invalid_scene_name(self):
+        with pytest.raises(KeyError):
+            load_scene("castle", resolution=16)

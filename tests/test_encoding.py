@@ -1,0 +1,53 @@
+"""Unit tests for the view-direction positional encoding."""
+
+import numpy as np
+import pytest
+
+from repro.nerf.encoding import positional_encoding, view_encoding_dim
+
+
+def test_default_dimension_is_27():
+    # 3 (raw) + 3 * 2 * 4 (sin/cos over 4 octaves) = 27, giving the 39-wide
+    # MLP input together with the 12 feature channels.
+    assert view_encoding_dim() == 27
+
+
+def test_dimension_without_input():
+    assert view_encoding_dim(num_frequencies=4, include_input=False) == 24
+
+
+def test_output_shape_matches():
+    dirs = np.random.default_rng(0).normal(size=(10, 3))
+    enc = positional_encoding(dirs)
+    assert enc.shape == (10, view_encoding_dim())
+
+
+def test_batch_shapes_preserved():
+    dirs = np.zeros((4, 5, 3))
+    enc = positional_encoding(dirs)
+    assert enc.shape == (4, 5, view_encoding_dim())
+
+
+def test_raw_input_prepended():
+    dirs = np.array([[0.1, -0.2, 0.3]])
+    enc = positional_encoding(dirs)
+    assert np.allclose(enc[0, :3], dirs[0], atol=1e-6)
+
+
+def test_zero_vector_encodes_to_known_pattern():
+    enc = positional_encoding(np.zeros((1, 3)))
+    # sin(0) = 0 and cos(0) = 1 for every frequency.
+    assert np.allclose(enc[0, :3], 0.0)
+    sines = enc[0, 3::6][:4]
+    assert np.allclose(sines, 0.0, atol=1e-7)
+
+
+def test_values_bounded_by_one():
+    dirs = np.random.default_rng(1).uniform(-1, 1, size=(50, 3))
+    enc = positional_encoding(dirs)
+    assert np.all(np.abs(enc) <= 1.0 + 1e-6)
+
+
+def test_wrong_last_dim_rejected():
+    with pytest.raises(ValueError):
+        positional_encoding(np.zeros((5, 2)))

@@ -1,0 +1,134 @@
+"""Tests for spatial hashing, subgrid partitioning and hash-table build."""
+
+import numpy as np
+import pytest
+
+from repro.core.addressing import EMPTY_ENTRY
+from repro.core.hash_mapping import (
+    HASH_PRIMES,
+    assign_subgrids,
+    build_hash_tables,
+    spatial_hash,
+    subgrid_width,
+)
+
+
+class TestSpatialHash:
+    def test_primes_match_equation_one(self):
+        assert HASH_PRIMES == (1, 2654435761, 805459861)
+
+    def test_hash_in_range(self, rng):
+        positions = rng.integers(0, 160, size=(1000, 3))
+        hashes = spatial_hash(positions, 4096)
+        assert hashes.min() >= 0
+        assert hashes.max() < 4096
+
+    def test_hash_matches_manual_computation(self):
+        pos = np.array([[3, 17, 42]])
+        expected = ((3 * 1) ^ (17 * 2654435761) ^ (42 * 805459861)) % 1024
+        assert spatial_hash(pos, 1024)[0] == expected
+
+    def test_hash_deterministic(self, rng):
+        positions = rng.integers(0, 100, size=(100, 3))
+        assert np.array_equal(spatial_hash(positions, 999), spatial_hash(positions, 999))
+
+    def test_hash_spreads_entries(self, rng):
+        # A healthy hash should not concentrate mass in a few buckets.
+        positions = rng.integers(0, 128, size=(5000, 3))
+        hashes = spatial_hash(positions, 256)
+        counts = np.bincount(hashes.astype(int), minlength=256)
+        assert counts.max() < 5000 * 0.05
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            spatial_hash(np.zeros((4, 2), dtype=int), 16)
+        with pytest.raises(ValueError):
+            spatial_hash(np.zeros((4, 3), dtype=int), 0)
+
+
+class TestSubgridPartition:
+    def test_width_covers_grid(self):
+        assert subgrid_width(160, 64) * 64 >= 160
+        assert subgrid_width(128, 64) == 2
+
+    def test_assignment_uses_x_coordinate_only(self):
+        positions = np.array([[0, 99, 99], [10, 0, 0], [31, 5, 5]])
+        ids = assign_subgrids(positions, resolution=32, num_subgrids=8)
+        assert list(ids) == [0, 2, 7]
+
+    def test_assignment_clipped_to_last_subgrid(self):
+        positions = np.array([[159, 0, 0]])
+        ids = assign_subgrids(positions, resolution=160, num_subgrids=64)
+        assert ids[0] <= 63
+
+    def test_all_vertices_assigned(self, rng):
+        positions = rng.integers(0, 160, size=(2000, 3))
+        ids = assign_subgrids(positions, 160, 64)
+        assert ids.min() >= 0
+        assert ids.max() < 64
+
+
+class TestBuildHashTables:
+    def _build(self, n=500, table_size=256, num_subgrids=8, resolution=32, seed=0):
+        rng = np.random.default_rng(seed)
+        linear = rng.choice(resolution ** 3, size=n, replace=False)
+        positions = np.stack(
+            [linear // (resolution * resolution),
+             (linear // resolution) % resolution,
+             linear % resolution], axis=1)
+        indices = np.arange(n, dtype=np.int32)
+        densities = rng.uniform(1, 10, size=n).astype(np.float32)
+        tables = build_hash_tables(positions, indices, densities, resolution, num_subgrids, table_size)
+        return positions, indices, densities, tables
+
+    def test_shapes(self):
+        _, _, _, tables = self._build()
+        assert tables.indices.shape == (8, 256)
+        assert tables.densities.shape == (8, 256)
+
+    def test_every_entry_written_or_empty(self):
+        _, indices, _, tables = self._build()
+        written = tables.indices[tables.indices != EMPTY_ENTRY]
+        assert set(written.tolist()).issubset(set(indices.tolist()))
+
+    def test_lookup_returns_inserted_values_without_collision(self):
+        positions, indices, densities, tables = self._build(n=50, table_size=4096)
+        from repro.core.hash_mapping import assign_subgrids, spatial_hash
+
+        sub = assign_subgrids(positions, 32, 8)
+        hsh = spatial_hash(positions, 4096)
+        got_idx, got_density = tables.lookup(sub, hsh)
+        # With a 4096-entry table and 50 insertions, collisions are unlikely;
+        # allow at most a couple of losses.
+        matches = got_idx == indices
+        assert matches.mean() > 0.9
+        assert np.allclose(got_density[matches], densities[matches])
+
+    def test_collision_rate_decreases_with_table_size(self):
+        _, _, _, small = self._build(n=800, table_size=128)
+        _, _, _, large = self._build(n=800, table_size=8192)
+        assert large.collision_rate <= small.collision_rate
+
+    def test_occupancy_bounded_by_insertions(self):
+        _, _, _, tables = self._build(n=300, table_size=512)
+        assert tables.occupancy <= 300 / (8 * 512) + 1e-9
+
+    def test_memory_bytes(self):
+        _, _, _, tables = self._build()
+        assert tables.memory_bytes(4) == 8 * 256 * 4
+
+    def test_empty_input(self):
+        tables = build_hash_tables(
+            np.zeros((0, 3), dtype=int), np.zeros(0, dtype=np.int32), np.zeros(0, dtype=np.float32),
+            resolution=32, num_subgrids=4, table_size=64,
+        )
+        assert tables.num_inserted == 0
+        assert tables.collision_rate == 0.0
+        assert np.all(tables.indices == EMPTY_ENTRY)
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            build_hash_tables(
+                np.zeros((3, 3), dtype=int), np.zeros(2, dtype=np.int32), np.zeros(3, dtype=np.float32),
+                resolution=32, num_subgrids=4, table_size=64,
+            )

@@ -1,0 +1,117 @@
+"""Tests for the SpNeRF accelerator simulator, area and energy models."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import SpNeRFConfig
+from repro.hardware.accelerator import AcceleratorConfig, SpNeRFAccelerator
+
+
+@pytest.fixture(scope="module")
+def accelerator():
+    return SpNeRFAccelerator()
+
+
+class TestSimulation:
+    def test_report_fields_consistent(self, accelerator, paper_workload):
+        report = accelerator.simulate_frame(paper_workload)
+        assert report.fps == pytest.approx(1.0 / report.frame_time_s)
+        assert report.cycles == pytest.approx(report.frame_time_s * accelerator.config.clock_hz)
+        assert report.dram_bytes > 0
+        assert len(report.per_subgrid_cycles) == accelerator.config.num_subgrids
+
+    def test_realtime_on_edge_workload(self, accelerator, paper_workload):
+        # SpNeRF's headline: real-time rendering (tens of FPS) at 800x800.
+        report = accelerator.simulate_frame(paper_workload)
+        assert report.fps > 24.0
+        assert report.power_w < 10.0
+
+    def test_denser_workload_is_slower(self, accelerator, paper_workload):
+        light = replace(paper_workload, active_samples_per_ray=1.0)
+        heavy = replace(paper_workload, active_samples_per_ray=6.0)
+        assert (
+            accelerator.simulate_frame(heavy).frame_time_s
+            > accelerator.simulate_frame(light).frame_time_s
+        )
+
+    def test_double_buffering_hides_dram_time(self, paper_workload):
+        base = SpNeRFAccelerator(AcceleratorConfig(double_buffered=True))
+        no_db = SpNeRFAccelerator(AcceleratorConfig(double_buffered=False))
+        assert (
+            base.simulate_frame(paper_workload).frame_time_s
+            <= no_db.simulate_frame(paper_workload).frame_time_s
+        )
+
+    def test_analytical_mode_is_not_slower_than_pipeline(self, accelerator, paper_workload):
+        analytical = accelerator.analytical_frame(paper_workload)
+        simulated = accelerator.simulate_frame(paper_workload)
+        assert analytical.frame_time_s <= simulated.frame_time_s * 1.05
+
+    def test_dram_traffic_dominated_by_model(self, accelerator, paper_workload):
+        traffic = accelerator.frame_dram_bytes(paper_workload)
+        assert traffic >= paper_workload.spnerf_model_bytes
+
+    def test_simulate_scenes_returns_per_scene_reports(self, accelerator, paper_workload):
+        other = replace(paper_workload, scene_name="other")
+        reports = accelerator.simulate_scenes([paper_workload, other])
+        assert set(reports) == {paper_workload.scene_name, "other"}
+
+    def test_config_from_spnerf_config(self):
+        config = AcceleratorConfig.from_spnerf_config(
+            SpNeRFConfig(num_subgrids=32, hash_table_size=8192)
+        )
+        assert config.num_subgrids == 32
+        assert config.sgpu.index_density_buffer_bytes == 8192 * 4
+
+
+class TestAreaModel:
+    def test_total_in_paper_ballpark(self, accelerator):
+        # Paper: 7.7 mm^2 at 28 nm.  The analytic model should land within
+        # roughly +-40 %.
+        total = accelerator.area_model.total_mm2()
+        assert 4.5 <= total <= 11.0
+
+    def test_sram_budget_near_061_mb(self, accelerator):
+        sram_mb = accelerator.area_model.total_sram_mbytes()
+        assert 0.45 <= sram_mb <= 0.8
+
+    def test_sram_is_minor_area_fraction(self, accelerator):
+        # The paper's key area observation: unlike prior accelerators, SRAM is
+        # a small fraction of SpNeRF's area.
+        assert accelerator.area_model.sram_area_fraction() < 0.4
+
+    def test_systolic_array_is_largest_logic_block(self, accelerator):
+        logic = accelerator.area_model.logic_breakdown()
+        assert logic["systolic_array"] == max(logic.values())
+
+    def test_breakdown_sums_to_total(self, accelerator):
+        breakdown = accelerator.area_model.breakdown()
+        assert sum(breakdown.values()) == pytest.approx(accelerator.area_model.total_mm2())
+
+
+class TestEnergyModel:
+    def test_power_in_paper_ballpark(self, accelerator, paper_workload):
+        report = accelerator.simulate_frame(paper_workload)
+        assert 1.0 <= report.power_w <= 6.0
+
+    def test_systolic_array_dominates_power(self, accelerator, paper_workload):
+        # Fig. 9(b): the systolic array is the dominant consumer (not SRAM).
+        report = accelerator.simulate_frame(paper_workload)
+        power = report.energy.power_w
+        assert power["systolic_array"] == max(power.values())
+        assert power["on_chip_sram"] < power["systolic_array"]
+
+    def test_energy_scales_with_work(self, accelerator, paper_workload):
+        light = replace(paper_workload, active_samples_per_ray=1.0)
+        heavy = replace(paper_workload, active_samples_per_ray=6.0)
+        e_light = accelerator.simulate_frame(light).energy_per_frame_j
+        e_heavy = accelerator.simulate_frame(heavy).energy_per_frame_j
+        assert e_heavy > e_light
+
+    def test_fps_per_watt_better_than_prior_accelerators(self, accelerator, paper_workload):
+        from repro.hardware.baselines import NEUREX_EDGE, RT_NERF_EDGE
+
+        report = accelerator.simulate_frame(paper_workload)
+        assert report.fps_per_watt > RT_NERF_EDGE.fps_per_watt
+        assert report.fps_per_watt > NEUREX_EDGE.fps_per_watt

@@ -1,0 +1,79 @@
+"""Tests for the GPU baseline models and published accelerator specs."""
+
+import pytest
+
+from repro.hardware.baselines import (
+    NEUREX_EDGE,
+    RT_NERF_EDGE,
+    GPUPlatformModel,
+)
+
+
+class TestGPUModel:
+    def test_edge_platforms_memory_bound(self, paper_workload):
+        # Fig. 2(a): edge GPUs spend most of their time on memory access.
+        for name in ("xnx", "onx"):
+            breakdown = GPUPlatformModel.by_name(name).frame_breakdown(paper_workload)
+            assert breakdown.memory_fraction > 0.6
+
+    def test_a100_not_memory_bound(self, paper_workload):
+        breakdown = GPUPlatformModel.by_name("a100").frame_breakdown(paper_workload)
+        assert breakdown.memory_fraction < 0.5
+
+    def test_edge_memory_fraction_much_higher_than_a100(self, paper_workload):
+        # Paper: 4.79x - 5.14x higher memory-time share on edge devices.
+        a100 = GPUPlatformModel.by_name("a100").frame_breakdown(paper_workload)
+        xnx = GPUPlatformModel.by_name("xnx").frame_breakdown(paper_workload)
+        assert xnx.memory_fraction / a100.memory_fraction > 2.0
+
+    def test_edge_gpus_far_from_realtime(self, paper_workload):
+        assert GPUPlatformModel.by_name("xnx").fps(paper_workload) < 5.0
+        assert GPUPlatformModel.by_name("onx").fps(paper_workload) < 10.0
+
+    def test_onx_faster_than_xnx(self, paper_workload):
+        assert GPUPlatformModel.by_name("onx").fps(paper_workload) > GPUPlatformModel.by_name(
+            "xnx"
+        ).fps(paper_workload)
+
+    def test_a100_fastest(self, paper_workload):
+        fps = {
+            name: GPUPlatformModel.by_name(name).fps(paper_workload)
+            for name in ("a100", "onx", "xnx")
+        }
+        assert fps["a100"] > fps["onx"] > fps["xnx"]
+
+    def test_time_distribution_normalised(self, paper_workload):
+        dist = GPUPlatformModel.by_name("onx").frame_breakdown(paper_workload).time_distribution()
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_energy_uses_board_power(self, paper_workload):
+        model = GPUPlatformModel.by_name("xnx")
+        breakdown = model.frame_breakdown(paper_workload)
+        assert model.energy_per_frame_j(paper_workload) == pytest.approx(
+            20.0 * breakdown.frame_time_s
+        )
+
+    def test_fps_per_watt(self, paper_workload):
+        model = GPUPlatformModel.by_name("onx")
+        assert model.fps_per_watt(paper_workload) == pytest.approx(
+            model.fps(paper_workload) / 25.0
+        )
+
+
+class TestPublishedAccelerators:
+    def test_rt_nerf_row_matches_paper(self):
+        assert RT_NERF_EDGE.sram_mbytes == pytest.approx(3.5)
+        assert RT_NERF_EDGE.area_mm2 == pytest.approx(18.85)
+        assert RT_NERF_EDGE.power_w == pytest.approx(8.0)
+        assert RT_NERF_EDGE.fps == pytest.approx(45.0)
+        assert RT_NERF_EDGE.fps_per_watt == pytest.approx(5.625, rel=1e-3)
+
+    def test_neurex_row_matches_paper(self):
+        assert NEUREX_EDGE.sram_mbytes == pytest.approx(0.86)
+        assert NEUREX_EDGE.area_mm2 == pytest.approx(1.31)
+        assert NEUREX_EDGE.power_w == pytest.approx(1.31)
+        assert NEUREX_EDGE.fps == pytest.approx(6.57)
+
+    def test_area_efficiency_derived(self):
+        assert RT_NERF_EDGE.fps_per_mm2 == pytest.approx(45.0 / 18.85)
+        assert NEUREX_EDGE.fps_per_mm2 == pytest.approx(6.57 / 1.31)

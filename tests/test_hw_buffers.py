@@ -1,0 +1,85 @@
+"""Tests for double buffering and the block-circulant input buffer (Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.buffers import BlockCirculantInputBuffer, DoubleBuffer, NaiveInputBuffer
+
+
+class TestDoubleBuffer:
+    def test_total_is_twice_bank(self):
+        buf = DoubleBuffer("index", 1024)
+        assert buf.total_bytes == 2048
+
+    def test_stall_only_when_fill_exceeds_compute(self):
+        buf = DoubleBuffer("index", 1024)
+        assert buf.stall_cycles(fill_cycles=100, compute_cycles=200) == 0.0
+        assert buf.stall_cycles(fill_cycles=300, compute_cycles=200) == 100.0
+
+    def test_fits(self):
+        buf = DoubleBuffer("index", 1024)
+        assert buf.fits(1024)
+        assert not buf.fits(1025)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DoubleBuffer("bad", 0)
+
+
+class TestBlockCirculant:
+    def test_paper_geometry(self):
+        buf = BlockCirculantInputBuffer()
+        # 39-element vector, blocks of 4 -> padded to 40 over 10 banks.
+        assert buf.padded_length == 40
+        assert buf.num_banks == 10
+        assert buf.padding_elements == 1
+
+    def test_write_layout_staggers_banks(self):
+        buf = BlockCirculantInputBuffer()
+        layout_v0 = buf.write_layout(0)
+        layout_v1 = buf.write_layout(1)
+        # Vector 0 block 0 -> bank 0; vector 1 block 0 -> bank 1 (circulant shift).
+        assert layout_v0[0][0] == 0
+        assert layout_v1[0][0] == 1
+
+    def test_blocks_of_one_vector_use_distinct_banks(self):
+        buf = BlockCirculantInputBuffer()
+        for v in (0, 3, 9, 17):
+            banks = [bank for bank, _ in buf.write_layout(v)]
+            assert len(set(banks)) == buf.num_banks
+
+    def test_roundtrip_preserves_vectors(self):
+        buf = BlockCirculantInputBuffer()
+        rng = np.random.default_rng(0)
+        vectors = rng.normal(size=(64, 39))
+        recovered = buf.roundtrip(vectors)
+        assert np.allclose(recovered, vectors)
+
+    def test_roundtrip_validates_width(self):
+        buf = BlockCirculantInputBuffer()
+        with pytest.raises(ValueError):
+            buf.roundtrip(np.zeros((4, 38)))
+
+    def test_single_cycle_reads(self):
+        buf = BlockCirculantInputBuffer()
+        assert buf.read_cycles(64) == 64
+        assert buf.bank_conflicts(64) == 0
+
+    def test_memory_accounting(self):
+        buf = BlockCirculantInputBuffer()
+        assert buf.memory_bytes(64) == 64 * 40 * 2
+
+
+class TestNaiveLayoutAblation:
+    def test_naive_layout_serialises_reads(self):
+        naive = NaiveInputBuffer()
+        circulant = BlockCirculantInputBuffer()
+        assert naive.read_cycles(64) == 64 * 10
+        assert naive.read_cycles(64) > circulant.read_cycles(64)
+
+    def test_naive_layout_has_conflicts(self):
+        naive = NaiveInputBuffer()
+        assert naive.bank_conflicts(64) == 64 * 9
+
+    def test_same_storage_footprint(self):
+        assert NaiveInputBuffer().memory_bytes(10) == BlockCirculantInputBuffer().memory_bytes(10)

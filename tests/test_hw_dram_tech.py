@@ -1,0 +1,78 @@
+"""Tests for the technology constants and the DRAM model."""
+
+import pytest
+
+from repro.hardware.dram import DRAM_CONFIGS, DRAMConfig, DRAMModel
+from repro.hardware.tech import TSMC28, TechnologyParameters
+
+
+class TestTechnology:
+    def test_clock_is_one_ghz(self):
+        assert TSMC28.clock_hz == pytest.approx(1.0e9)
+        assert TSMC28.cycle_time_s == pytest.approx(1.0e-9)
+
+    def test_sram_area_scales_linearly(self):
+        one_kb = TSMC28.sram_area_mm2(1024)
+        four_kb = TSMC28.sram_area_mm2(4096)
+        assert four_kb == pytest.approx(4 * one_kb)
+
+    def test_leakage_positive(self):
+        assert TSMC28.sram_leakage_w(1024 * 100) > 0
+        assert TSMC28.logic_leakage_w(5.0) > 0
+
+    def test_custom_technology(self):
+        tech = TechnologyParameters(name="test", clock_hz=2e9)
+        assert tech.cycle_time_s == pytest.approx(0.5e-9)
+
+
+class TestDRAMConfigs:
+    def test_paper_memories_present(self):
+        assert set(DRAM_CONFIGS) >= {"lpddr4-3200", "lpddr4-1600", "lpddr5", "hbm2"}
+
+    def test_table1_bandwidths(self):
+        assert DRAM_CONFIGS["lpddr4-3200"].peak_bandwidth_gbps == pytest.approx(59.7)
+        assert DRAM_CONFIGS["lpddr5"].peak_bandwidth_gbps == pytest.approx(102.4)
+        assert DRAM_CONFIGS["hbm2"].peak_bandwidth_gbps == pytest.approx(1555.0)
+        assert DRAM_CONFIGS["lpddr4-1600"].peak_bandwidth_gbps == pytest.approx(17.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DRAMConfig(name="bad", peak_bandwidth_gbps=0.0, access_energy_pj_per_byte=10)
+        with pytest.raises(ValueError):
+            DRAMConfig(
+                name="bad", peak_bandwidth_gbps=10, access_energy_pj_per_byte=10,
+                streaming_efficiency=1.5,
+            )
+
+
+class TestDRAMModel:
+    def test_streaming_faster_than_random(self):
+        model = DRAMModel(DRAM_CONFIGS["lpddr4-3200"])
+        assert model.transfer_time_s(1e9, streaming=True) < model.transfer_time_s(1e9, streaming=False)
+
+    def test_transfer_time_linear_in_bytes(self):
+        model = DRAMModel(DRAM_CONFIGS["lpddr4-3200"])
+        assert model.transfer_time_s(2e6) == pytest.approx(2 * model.transfer_time_s(1e6))
+
+    def test_zero_bytes_is_free(self):
+        model = DRAMModel(DRAM_CONFIGS["lpddr5"])
+        assert model.transfer_time_s(0) == 0.0
+        assert model.transfer_energy_j(0) == 0.0
+        assert model.transactions(0) == 0
+
+    def test_energy_per_byte(self):
+        config = DRAM_CONFIGS["lpddr4-3200"]
+        model = DRAMModel(config)
+        assert model.transfer_energy_j(1e6) == pytest.approx(
+            1e6 * config.access_energy_pj_per_byte * 1e-12
+        )
+
+    def test_transactions_round_up(self):
+        model = DRAMModel(DRAM_CONFIGS["lpddr4-3200"])
+        assert model.transactions(65) == 2
+        assert model.transactions(64) == 1
+
+    def test_average_power_includes_static(self):
+        model = DRAMModel(DRAM_CONFIGS["lpddr4-3200"])
+        assert model.average_power_w(0, 1.0) == pytest.approx(model.config.static_power_w)
+        assert model.average_power_w(1e9, 1.0) > model.config.static_power_w

@@ -1,0 +1,76 @@
+"""Tests for platform specs (Table I) and the frame-workload constructors."""
+
+import pytest
+
+from repro.hardware.platforms import PLATFORMS
+from repro.hardware.workload import (
+    FrameWorkload,
+    workload_from_render,
+    workload_from_scene,
+)
+
+
+class TestPlatforms:
+    def test_table1_rows_present(self):
+        assert set(PLATFORMS) == {"a100", "onx", "xnx"}
+
+    def test_table1_specs(self):
+        a100, onx, xnx = PLATFORMS["a100"], PLATFORMS["onx"], PLATFORMS["xnx"]
+        assert a100.power_w == 400 and onx.power_w == 25 and xnx.power_w == 20
+        assert a100.technology_nm == 7 and onx.technology_nm == 8 and xnx.technology_nm == 16
+        assert xnx.l2_cache_bytes == 512 * 1024
+        assert onx.l2_cache_bytes == 4 * 1024 * 1024
+        assert a100.fp16_tflops == pytest.approx(78.0)
+        assert xnx.fp16_tflops == pytest.approx(1.69)
+
+    def test_edge_platforms_have_worse_gather_behaviour(self):
+        assert PLATFORMS["xnx"].gather_efficiency < PLATFORMS["a100"].gather_efficiency
+        assert PLATFORMS["xnx"].l2_reuse_factor < PLATFORMS["a100"].l2_reuse_factor
+
+
+class TestFrameWorkload:
+    def test_paper_frame_geometry(self):
+        workload = FrameWorkload(scene_name="test")
+        assert workload.num_rays == 800 * 800
+
+    def test_derived_counts_consistent(self):
+        workload = FrameWorkload(
+            scene_name="t", active_samples_per_ray=3.0, processed_samples_per_ray=40.0
+        )
+        assert workload.active_samples == 3 * workload.num_rays
+        assert workload.processed_samples == 40 * workload.num_rays
+        assert workload.vertex_lookups == workload.processed_samples * 8
+        assert workload.mlp_macs == workload.active_samples * workload.mlp_spec.macs_per_sample
+
+    def test_scaled_to_changes_ray_count_only(self):
+        workload = FrameWorkload(scene_name="t", active_samples_per_ray=2.0)
+        scaled = workload.scaled_to(100, 100)
+        assert scaled.num_rays == 10000
+        assert scaled.active_samples_per_ray == workload.active_samples_per_ray
+
+
+class TestWorkloadConstructors:
+    def test_analytic_workload_ranges(self, small_scene):
+        workload = workload_from_scene(small_scene)
+        assert 0.0 < workload.inside_fraction <= 1.0
+        assert 0.0 < workload.active_samples_per_ray < workload.samples_per_ray
+        assert workload.processed_samples_per_ray <= workload.samples_per_ray
+        assert workload.occupancy == pytest.approx(small_scene.occupancy_fraction())
+
+    def test_measured_workload_ranges(self, spnerf_bundle):
+        workload = workload_from_render(spnerf_bundle, probe_resolution=24)
+        assert workload.scene_name == "lego"
+        assert 0.0 < workload.active_samples_per_ray < workload.samples_per_ray
+        assert workload.active_samples_per_ray <= workload.processed_samples_per_ray
+        assert workload.spnerf_model_bytes > 0
+        assert workload.vqrf_restored_bytes > workload.spnerf_model_bytes
+
+    def test_measured_workload_includes_memory_breakdown(self, spnerf_bundle):
+        workload = workload_from_render(spnerf_bundle, probe_resolution=16)
+        assert set(workload.spnerf_memory) >= {"hash_tables", "bitmap", "codebook", "total"}
+
+    def test_denser_scene_has_more_active_samples(self, small_scene, sparse_scene):
+        dense_wl = workload_from_scene(small_scene)
+        sparse_wl = workload_from_scene(sparse_scene)
+        if small_scene.occupancy_fraction() > sparse_scene.occupancy_fraction():
+            assert dense_wl.active_samples_per_ray >= sparse_wl.active_samples_per_ray

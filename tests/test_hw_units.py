@@ -1,0 +1,96 @@
+"""Tests for the SGPU and MLP-unit hardware models."""
+
+import pytest
+
+from repro.hardware.mlp_unit import MLPUnit, SystolicArrayConfig
+from repro.hardware.sgpu import SGPU, SGPUConfig
+from repro.nerf.mlp import MLPSpec
+
+
+class TestSGPU:
+    def test_sram_near_paper_budget(self):
+        # The paper reports ~571 KB of SGPU SRAM; the default buffer plan must
+        # land in that neighbourhood.
+        sgpu = SGPU()
+        total_kb = sgpu.sram_bytes() / 1024
+        assert 450 <= total_kb <= 700
+
+    def test_sram_breakdown_sums(self):
+        sgpu = SGPU()
+        assert sum(sgpu.sram_breakdown().values()) == sgpu.sram_bytes()
+
+    def test_pipeline_cycles_scale_with_active_samples(self, frame_workload):
+        from dataclasses import replace
+
+        sgpu = SGPU()
+        low = replace(frame_workload, active_samples_per_ray=1.0)
+        high = replace(frame_workload, active_samples_per_ray=4.0)
+        assert sgpu.pipeline_cycles(high) > sgpu.pipeline_cycles(low)
+
+    def test_empty_samples_are_cheaper_than_active(self, frame_workload):
+        from dataclasses import replace
+
+        sgpu = SGPU()
+        all_active = replace(
+            frame_workload,
+            active_samples_per_ray=frame_workload.processed_samples_per_ray,
+        )
+        mostly_empty = replace(frame_workload, active_samples_per_ray=0.5)
+        assert sgpu.pipeline_cycles(all_active) > sgpu.pipeline_cycles(mostly_empty)
+
+    def test_activity_counts_positive(self, frame_workload):
+        activity = SGPU().activity(frame_workload)
+        assert activity.cycles > 0
+        assert activity.fp16_ops > 0
+        assert activity.hash_ops == frame_workload.vertex_lookups
+        assert activity.sram_read_bytes > 0
+
+    def test_hash_ops_equal_vertex_lookups(self, frame_workload):
+        activity = SGPU().activity(frame_workload)
+        assert activity.hash_ops == frame_workload.processed_samples * 8
+
+    def test_index_buffer_size_configurable(self):
+        sgpu = SGPU(SGPUConfig(index_density_buffer_bytes=4096))
+        assert sgpu.hash_unit.sram_bytes() < SGPU().hash_unit.sram_bytes()
+
+
+class TestMLPUnit:
+    def test_buffer_budget_matches_paper(self):
+        # Paper: MLP buffers total ~58 KB.
+        unit = MLPUnit()
+        assert 50 * 1024 <= unit.sram_bytes() <= 70 * 1024
+
+    def test_layer_cycles_at_least_reduction_depth(self):
+        unit = MLPUnit()
+        assert unit.layer_cycles(batch=64, in_dim=39, out_dim=128) >= 39
+        assert unit.layer_cycles(batch=64, in_dim=128, out_dim=128) >= 128
+
+    def test_batch_cycles_sum_of_layers(self):
+        unit = MLPUnit()
+        assert unit.batch_cycles() == pytest.approx(sum(unit.batch_layer_breakdown()))
+
+    def test_frame_activity_macs_exact(self):
+        unit = MLPUnit()
+        active = 100_000
+        activity = unit.frame_activity(active)
+        assert activity.macs == active * MLPSpec().macs_per_sample
+
+    def test_zero_samples(self):
+        activity = MLPUnit().frame_activity(0)
+        assert activity.cycles == 0
+        assert activity.macs == 0
+
+    def test_utilization_bounded(self):
+        activity = MLPUnit().frame_activity(1_000_000)
+        assert 0.0 < activity.utilization <= 1.0
+
+    def test_bigger_array_is_faster_but_less_utilised(self):
+        small = MLPUnit(SystolicArrayConfig(rows=32, cols=32))
+        large = MLPUnit(SystolicArrayConfig(rows=128, cols=128))
+        act_small = small.frame_activity(500_000)
+        act_large = large.frame_activity(500_000)
+        assert act_large.cycles < act_small.cycles
+        assert act_large.utilization <= act_small.utilization + 1e-9
+
+    def test_peak_macs_per_cycle(self):
+        assert SystolicArrayConfig(rows=64, cols=64).peak_macs_per_cycle == 4096

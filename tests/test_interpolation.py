@@ -1,0 +1,88 @@
+"""Unit tests for trilinear interpolation (Eq. 2 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.grid.interpolation import (
+    corner_offsets,
+    trilinear_interpolate,
+    trilinear_vertices_and_weights,
+)
+
+
+def test_corner_offsets_are_the_unit_cube():
+    offsets = corner_offsets()
+    assert offsets.shape == (8, 3)
+    assert set(map(tuple, offsets.tolist())) == {
+        (dx, dy, dz) for dx in (0, 1) for dy in (0, 1) for dz in (0, 1)
+    }
+
+
+def test_weights_sum_to_one():
+    rng = np.random.default_rng(0)
+    coords = rng.uniform(0, 7, size=(50, 3))
+    _, weights = trilinear_vertices_and_weights(coords, resolution=8)
+    assert np.allclose(weights.sum(axis=1), 1.0)
+
+
+def test_weights_nonnegative():
+    rng = np.random.default_rng(1)
+    coords = rng.uniform(0, 7, size=(100, 3))
+    _, weights = trilinear_vertices_and_weights(coords, resolution=8)
+    assert np.all(weights >= 0.0)
+
+
+def test_sample_on_vertex_gets_unit_weight():
+    coords = np.array([[3.0, 4.0, 5.0]])
+    vertices, weights = trilinear_vertices_and_weights(coords, resolution=8)
+    exact = np.all(vertices == np.array([3, 4, 5]), axis=-1)
+    assert weights[0][exact[0]].sum() == pytest.approx(1.0)
+
+
+def test_vertices_stay_in_range_at_boundary():
+    coords = np.array([[7.0, 7.0, 7.0], [0.0, 0.0, 0.0], [6.999, 0.001, 7.0]])
+    vertices, _ = trilinear_vertices_and_weights(coords, resolution=8)
+    assert vertices.min() >= 0
+    assert vertices.max() <= 7
+
+
+def test_interpolation_of_linear_field_is_exact():
+    # A field linear in x, y, z is reproduced exactly by trilinear interpolation.
+    def fetch(v):
+        return 2.0 * v[:, 0] + 3.0 * v[:, 1] - v[:, 2]
+
+    rng = np.random.default_rng(2)
+    coords = rng.uniform(0, 6.9, size=(40, 3))
+    values = trilinear_interpolate(coords, fetch, resolution=8)
+    expected = 2.0 * coords[:, 0] + 3.0 * coords[:, 1] - coords[:, 2]
+    assert np.allclose(values, expected, atol=1e-9)
+
+
+def test_interpolation_vector_valued():
+    def fetch(v):
+        return np.stack([v[:, 0].astype(float), np.ones(v.shape[0])], axis=-1)
+
+    coords = np.array([[2.5, 3.0, 3.0], [0.25, 0.25, 0.25]])
+    values = trilinear_interpolate(coords, fetch, resolution=8)
+    assert values.shape == (2, 2)
+    assert values[0, 0] == pytest.approx(2.5)
+    assert np.allclose(values[:, 1], 1.0)
+
+
+def test_interpolation_matches_paper_weight_formula():
+    # Cross-check the vectorised weights against a literal Eq. 2 evaluation.
+    coords = np.array([[1.3, 2.7, 4.1]])
+    vertices, weights = trilinear_vertices_and_weights(coords, resolution=8)
+    for k in range(8):
+        xg, yg, zg = vertices[0, k]
+        expected = (
+            (1 - abs(coords[0, 0] - xg))
+            * (1 - abs(coords[0, 1] - yg))
+            * (1 - abs(coords[0, 2] - zg))
+        )
+        assert weights[0, k] == pytest.approx(expected)
+
+
+def test_bad_shape_rejected():
+    with pytest.raises(ValueError):
+        trilinear_vertices_and_weights(np.zeros((3, 2)), resolution=8)

@@ -1,0 +1,58 @@
+"""Unit tests for image metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nerf.metrics import mse, psnr, ssim
+
+
+def test_mse_zero_for_identical_images():
+    img = np.random.default_rng(0).uniform(size=(8, 8, 3))
+    assert mse(img, img) == 0.0
+
+
+def test_mse_known_value():
+    a = np.zeros((4, 4))
+    b = np.full((4, 4), 0.5)
+    assert mse(a, b) == pytest.approx(0.25)
+
+
+def test_mse_shape_mismatch():
+    with pytest.raises(ValueError):
+        mse(np.zeros((4, 4)), np.zeros((4, 5)))
+
+
+def test_psnr_identical_is_infinite():
+    img = np.ones((4, 4, 3))
+    assert psnr(img, img) == float("inf")
+
+
+def test_psnr_known_value():
+    a = np.zeros((10, 10))
+    b = np.full((10, 10), 0.1)
+    assert psnr(a, b) == pytest.approx(20.0, abs=1e-6)
+
+
+def test_psnr_decreases_with_noise():
+    rng = np.random.default_rng(0)
+    ref = rng.uniform(size=(16, 16, 3))
+    small = np.clip(ref + rng.normal(0, 0.01, ref.shape), 0, 1)
+    large = np.clip(ref + rng.normal(0, 0.1, ref.shape), 0, 1)
+    assert psnr(small, ref) > psnr(large, ref)
+
+
+def test_ssim_identical_is_one():
+    img = np.random.default_rng(1).uniform(size=(16, 16, 3))
+    assert ssim(img, img) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_ssim_penalises_noise():
+    rng = np.random.default_rng(2)
+    ref = rng.uniform(size=(32, 32))
+    noisy = np.clip(ref + rng.normal(0, 0.2, ref.shape), 0, 1)
+    assert ssim(noisy, ref) < 0.95
+
+
+def test_ssim_shape_mismatch():
+    with pytest.raises(ValueError):
+        ssim(np.zeros((8, 8)), np.zeros((9, 8)))

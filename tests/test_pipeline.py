@@ -1,0 +1,90 @@
+"""Integration tests for the end-to-end SpNeRF pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SpNeRFConfig
+from repro.core.pipeline import SpNeRFField, build_spnerf_from_scene
+from repro.nerf.metrics import psnr
+from repro.nerf.renderer import VolumetricRenderer
+from repro.vqrf.model import VQRFField
+
+
+@pytest.fixture(scope="module")
+def rendered_images(small_scene, spnerf_bundle):
+    """Reference, VQRF, SpNeRF-masked and SpNeRF-unmasked images of one view."""
+    reference = small_scene.reference_image(0)
+
+    def render(field):
+        renderer = VolumetricRenderer(field, small_scene.render_config)
+        return renderer.render_image(
+            small_scene.cameras[0], small_scene.bbox_min, small_scene.bbox_max
+        )
+
+    vqrf_img = render(VQRFField(spnerf_bundle.vqrf_model, small_scene.mlp))
+    masked_img = render(SpNeRFField(spnerf_bundle.spnerf_model, small_scene.mlp, use_bitmap_masking=True))
+    unmasked_img = render(
+        SpNeRFField(spnerf_bundle.spnerf_model, small_scene.mlp, use_bitmap_masking=False)
+    )
+    return reference, vqrf_img, masked_img, unmasked_img
+
+
+class TestSpNeRFPipeline:
+    def test_bundle_components(self, spnerf_bundle, small_scene):
+        assert spnerf_bundle.scene is small_scene
+        assert spnerf_bundle.spnerf_model.config.num_subgrids == 8
+
+    def test_query_interface(self, spnerf_bundle, rng):
+        points = rng.uniform(-1, 1, size=(100, 3))
+        dirs = np.tile([[0.0, 0.0, 1.0]], (100, 1))
+        density, rgb = spnerf_bundle.field.query(points, dirs)
+        assert density.shape == (100,)
+        assert rgb.shape == (100, 3)
+        assert np.all(rgb >= 0.0) and np.all(rgb <= 1.0)
+
+    def test_spnerf_masked_matches_vqrf_quality(self, rendered_images):
+        reference, vqrf_img, masked_img, _ = rendered_images
+        psnr_vqrf = psnr(vqrf_img, reference)
+        psnr_masked = psnr(masked_img, reference)
+        # Bitmap masking keeps SpNeRF within a few dB of the VQRF baseline
+        # (Fig. 6(b): "comparable PSNR levels").
+        assert psnr_masked > psnr_vqrf - 4.0
+
+    def test_masking_recovers_substantial_psnr(self, rendered_images):
+        reference, _, masked_img, unmasked_img = rendered_images
+        gain = psnr(masked_img, reference) - psnr(unmasked_img, reference)
+        # The paper's core accuracy claim: collisions destroy quality unless
+        # the bitmap masks them.
+        assert gain > 5.0
+
+    def test_vqrf_baseline_is_reasonable(self, rendered_images):
+        reference, vqrf_img, _, _ = rendered_images
+        assert psnr(vqrf_img, reference) > 25.0
+
+    def test_reusing_vqrf_model_skips_recompression(self, small_scene, vqrf_model):
+        config = SpNeRFConfig(num_subgrids=4, hash_table_size=512, codebook_size=64)
+        bundle = build_spnerf_from_scene(small_scene, config, vqrf_model=vqrf_model)
+        assert bundle.vqrf_model is vqrf_model
+        assert bundle.spnerf_model.config.hash_table_size == 512
+
+    def test_larger_tables_do_not_reduce_quality(self, small_scene, vqrf_model):
+        small_cfg = SpNeRFConfig(num_subgrids=8, hash_table_size=128, codebook_size=64)
+        large_cfg = SpNeRFConfig(num_subgrids=8, hash_table_size=4096, codebook_size=64)
+        reference = small_scene.reference_image(0)
+
+        def render(cfg):
+            bundle = build_spnerf_from_scene(small_scene, cfg, vqrf_model=vqrf_model)
+            renderer = VolumetricRenderer(bundle.field, small_scene.render_config)
+            return renderer.render_image(
+                small_scene.cameras[0], small_scene.bbox_min, small_scene.bbox_max
+            )
+
+        psnr_small = psnr(render(small_cfg), reference)
+        psnr_large = psnr(render(large_cfg), reference)
+        assert psnr_large >= psnr_small - 0.5
+
+    def test_decoder_stats_populated_after_render(self, spnerf_bundle, small_scene):
+        field = SpNeRFField(spnerf_bundle.spnerf_model, small_scene.mlp)
+        renderer = VolumetricRenderer(field, small_scene.render_config)
+        renderer.render_image(small_scene.cameras[0], small_scene.bbox_min, small_scene.bbox_max)
+        assert field.decoder.stats.num_lookups > 0

@@ -1,0 +1,119 @@
+"""Tests for SpNeRF preprocessing and online decoding (the paper's core)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SpNeRFConfig
+from repro.core.decoding import OnlineDecoder
+from repro.core.preprocessing import preprocess
+from repro.vqrf.model import compress_scene
+
+
+class TestPreprocessing:
+    def test_model_components_present(self, spnerf_bundle):
+        model = spnerf_bundle.spnerf_model
+        assert model.hash_tables.num_inserted == spnerf_bundle.vqrf_model.num_voxels
+        assert model.bitmap.num_occupied == spnerf_bundle.vqrf_model.num_voxels
+        assert model.codebook.shape[0] == model.config.codebook_size
+
+    def test_memory_breakdown_components(self, spnerf_bundle):
+        breakdown = spnerf_bundle.spnerf_model.memory_breakdown()
+        expected_keys = {"hash_tables", "bitmap", "codebook", "true_voxel_grid", "total"}
+        assert set(breakdown.keys()) == expected_keys
+        assert breakdown["total"] == sum(v for k, v in breakdown.items() if k != "total")
+
+    def test_hash_table_memory_matches_config(self, spnerf_bundle):
+        model = spnerf_bundle.spnerf_model
+        cfg = model.config
+        assert (
+            model.memory_breakdown()["hash_tables"]
+            == cfg.num_subgrids * cfg.hash_table_size * cfg.hash_entry_bytes
+        )
+
+    def test_bitmap_memory_is_one_bit_per_vertex(self, spnerf_bundle):
+        model = spnerf_bundle.spnerf_model
+        assert model.memory_breakdown()["bitmap"] == model.spec.num_vertices // 8
+
+    def test_spnerf_smaller_than_restored_grid(self, spnerf_bundle):
+        model = spnerf_bundle.spnerf_model
+        restored = spnerf_bundle.vqrf_model.restored_size_bytes()
+        assert model.memory_bytes() < restored
+
+    def test_feature_dim_mismatch_rejected(self, vqrf_model):
+        bad = SpNeRFConfig(num_subgrids=4, hash_table_size=256, codebook_size=64, feature_dim=8)
+        with pytest.raises(ValueError):
+            preprocess(vqrf_model, bad)
+
+    def test_codebook_size_mismatch_rejected(self, vqrf_model):
+        bad = SpNeRFConfig(num_subgrids=4, hash_table_size=256, codebook_size=128)
+        with pytest.raises(ValueError):
+            preprocess(vqrf_model, bad)
+
+    def test_address_space_overflow_rejected(self, small_scene):
+        # With a tiny address space the kept voxels cannot all be indexed.
+        model = compress_scene(
+            small_scene.sparse_grid, codebook_size=64, keep_fraction=0.9, kmeans_iterations=1
+        )
+        config = SpNeRFConfig(
+            num_subgrids=4, hash_table_size=256, codebook_size=64, address_bits=7
+        )
+        with pytest.raises(ValueError):
+            preprocess(model, config)
+
+
+class TestOnlineDecoder:
+    def test_stored_vertices_decode_close_to_truth(self, spnerf_bundle):
+        decoder = OnlineDecoder(spnerf_bundle.spnerf_model)
+        reference = spnerf_bundle.vqrf_model.to_sparse()
+        report = decoder.decode_error_report(reference)
+        # With a lightly-loaded table the vast majority of stored vertices
+        # decode exactly (collisions affect only a few percent).
+        assert report["fraction_exact"] > 0.85
+
+    def test_masking_zeroes_empty_vertices(self, spnerf_bundle):
+        model = spnerf_bundle.spnerf_model
+        decoder = OnlineDecoder(model, use_bitmap_masking=True)
+        occupied = model.bitmap.to_dense()
+        empty_positions = np.argwhere(~occupied)[:500]
+        density, features = decoder.decode_vertices(empty_positions)
+        assert np.all(density == 0.0)
+        assert np.all(features == 0.0)
+
+    def test_unmasked_decoding_leaks_collisions(self, spnerf_bundle):
+        model = spnerf_bundle.spnerf_model
+        masked = OnlineDecoder(model, use_bitmap_masking=True)
+        unmasked = OnlineDecoder(model, use_bitmap_masking=False)
+        occupied = model.bitmap.to_dense()
+        empty_positions = np.argwhere(~occupied)[:4000]
+        d_masked, _ = masked.decode_vertices(empty_positions)
+        d_unmasked, _ = unmasked.decode_vertices(empty_positions)
+        assert np.all(d_masked == 0.0)
+        # Without the bitmap some empty vertices alias onto stored entries.
+        assert np.count_nonzero(d_unmasked) > 0
+
+    def test_stats_accumulate(self, spnerf_bundle):
+        decoder = OnlineDecoder(spnerf_bundle.spnerf_model)
+        positions = spnerf_bundle.vqrf_model.positions[:100]
+        decoder.decode_vertices(positions)
+        decoder.decode_vertices(positions)
+        assert decoder.stats.num_lookups == 200
+        assert (
+            decoder.stats.num_codebook_hits + decoder.stats.num_true_grid_hits
+            <= decoder.stats.num_lookups
+        )
+
+    def test_masking_follows_config_by_default(self, spnerf_bundle):
+        model = spnerf_bundle.spnerf_model
+        decoder = OnlineDecoder(model)
+        assert decoder.masking_enabled == model.config.use_bitmap_masking
+
+    def test_empty_query(self, spnerf_bundle):
+        decoder = OnlineDecoder(spnerf_bundle.spnerf_model)
+        density, features = decoder.decode_vertices(np.zeros((0, 3), dtype=int))
+        assert density.shape == (0,)
+        assert features.shape == (0, spnerf_bundle.spnerf_model.feature_dim)
+
+    def test_bad_shape_rejected(self, spnerf_bundle):
+        decoder = OnlineDecoder(spnerf_bundle.spnerf_model)
+        with pytest.raises(ValueError):
+            decoder.decode_vertices(np.zeros((5, 2), dtype=int))

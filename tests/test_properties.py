@@ -1,0 +1,191 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.addressing import UnifiedAddressSpace
+from repro.core.bitmap import OccupancyBitmap
+from repro.core.hash_mapping import assign_subgrids, spatial_hash, subgrid_width
+from repro.grid.interpolation import trilinear_vertices_and_weights
+from repro.grid.quantization import quantize_int8
+from repro.hardware.buffers import BlockCirculantInputBuffer
+from repro.nerf.volume_rendering import composite_rays, compute_weights
+from repro.vqrf.vector_quantization import build_codebook
+
+# Keep hypothesis deadlines generous: numpy work inside examples is chunky.
+SETTINGS = settings(max_examples=30, deadline=None)
+
+
+# ----------------------------------------------------------------------
+# Spatial hashing
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(
+    positions=arrays(np.int64, (20, 3), elements=st.integers(0, 1023)),
+    table_size=st.integers(1, 1 << 20),
+)
+def test_hash_always_in_range(positions, table_size):
+    hashes = spatial_hash(positions, table_size)
+    assert np.all(hashes < table_size)
+
+
+@SETTINGS
+@given(
+    positions=arrays(np.int64, (30, 3), elements=st.integers(0, 255)),
+    resolution=st.integers(2, 256),
+    num_subgrids=st.integers(1, 128),
+)
+def test_subgrid_assignment_in_range(positions, resolution, num_subgrids):
+    positions = positions % resolution
+    ids = assign_subgrids(positions, resolution, num_subgrids)
+    assert np.all(ids >= 0)
+    assert np.all(ids < num_subgrids)
+    # The width always covers the resolution.
+    assert subgrid_width(resolution, num_subgrids) * num_subgrids >= resolution
+
+
+# ----------------------------------------------------------------------
+# Unified addressing
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(
+    codebook_size=st.integers(1, 4096),
+    rows=st.lists(st.integers(0, 10000), min_size=1, max_size=50),
+)
+def test_unified_addressing_roundtrip(codebook_size, rows):
+    space = UnifiedAddressSpace(codebook_size=codebook_size, address_bits=18)
+    rows = np.array([r % space.true_grid_capacity for r in rows])
+    unified = space.encode_true_grid(rows)
+    is_cb, local = space.decode(unified)
+    assert not np.any(is_cb)
+    assert np.array_equal(local, rows)
+
+
+# ----------------------------------------------------------------------
+# Bitmap
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(
+    resolution=st.integers(2, 24),
+    data=st.data(),
+)
+def test_bitmap_lookup_matches_membership(resolution, data):
+    count = data.draw(st.integers(0, 40))
+    positions = data.draw(
+        arrays(np.int64, (count, 3), elements=st.integers(0, resolution - 1))
+    )
+    positions = np.unique(positions, axis=0) if count else positions.reshape(0, 3)
+    bitmap = OccupancyBitmap(resolution, positions)
+    assert bitmap.num_occupied == positions.shape[0]
+    if positions.shape[0]:
+        assert np.all(bitmap.lookup(positions))
+    dense = bitmap.to_dense()
+    assert dense.sum() == positions.shape[0]
+
+
+# ----------------------------------------------------------------------
+# Trilinear interpolation
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(
+    coords=arrays(
+        np.float64,
+        (16, 3),
+        elements=st.floats(0.0, 31.0, allow_nan=False, allow_infinity=False),
+    )
+)
+def test_trilinear_weights_form_partition_of_unity(coords):
+    vertices, weights = trilinear_vertices_and_weights(coords, resolution=32)
+    assert np.all(weights >= -1e-12)
+    assert np.allclose(weights.sum(axis=1), 1.0)
+    assert vertices.min() >= 0 and vertices.max() <= 31
+
+
+# ----------------------------------------------------------------------
+# Quantization
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(
+    tensor=arrays(
+        np.float32,
+        st.tuples(st.integers(1, 20), st.integers(1, 12)),
+        elements=st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False, width=32),
+    )
+)
+def test_int8_roundtrip_error_bounded_by_half_scale(tensor):
+    q = quantize_int8(tensor)
+    error = np.abs(q.dequantize() - tensor)
+    assert np.all(error <= q.scale * 0.5 + 1e-5)
+
+
+# ----------------------------------------------------------------------
+# Volume rendering
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(
+    density=arrays(
+        np.float64, (4, 12), elements=st.floats(-50, 50, allow_nan=False, allow_infinity=False)
+    ),
+    rgb_seed=st.integers(0, 2 ** 16),
+)
+def test_compositing_is_convex(density, rgb_seed):
+    rng = np.random.default_rng(rgb_seed)
+    rgb = rng.uniform(0, 1, size=(4, 12, 3))
+    t = np.tile(np.linspace(0.1, 1.0, 12), (4, 1))
+    pixels, weights, acc = composite_rays(density, rgb, t)
+    assert np.all(weights >= -1e-12)
+    assert np.all(acc <= 1.0 + 1e-9)
+    assert np.all(pixels <= 1.0 + 1e-9)
+    assert np.all(pixels >= -1e-9)
+
+
+@SETTINGS
+@given(
+    alphas=arrays(
+        np.float64, (3, 10), elements=st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False)
+    )
+)
+def test_weights_never_exceed_alpha(alphas):
+    weights = compute_weights(alphas)
+    assert np.all(weights <= alphas + 1e-9)
+    assert np.all(weights.sum(axis=-1) <= 1.0 + 1e-9)
+
+
+# ----------------------------------------------------------------------
+# Block-circulant buffer
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(
+    num_vectors=st.integers(1, 40),
+    vector_length=st.integers(4, 64),
+    seed=st.integers(0, 2 ** 16),
+)
+def test_block_circulant_roundtrip_any_geometry(num_vectors, vector_length, seed):
+    buf = BlockCirculantInputBuffer(vector_length=vector_length, block_size=4)
+    rng = np.random.default_rng(seed)
+    vectors = rng.normal(size=(num_vectors, vector_length))
+    assert np.allclose(buf.roundtrip(vectors), vectors)
+
+
+# ----------------------------------------------------------------------
+# Vector quantization
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(
+    num_vectors=st.integers(4, 60),
+    dim=st.integers(1, 8),
+    entries=st.integers(1, 16),
+    seed=st.integers(0, 2 ** 10),
+)
+def test_codebook_encode_always_valid(num_vectors, dim, entries, seed):
+    rng = np.random.default_rng(seed)
+    vectors = rng.normal(size=(num_vectors, dim))
+    quantizer = build_codebook(vectors, num_entries=entries, num_iterations=2, seed=seed)
+    assert quantizer.codebook.shape == (entries, dim)
+    indices = quantizer.encode(vectors)
+    assert indices.min() >= 0
+    assert indices.max() < entries
+    # Quantizing the codebook itself is lossless.
+    assert quantizer.quantization_error(quantizer.codebook) <= 1e-6

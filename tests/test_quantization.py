@@ -1,0 +1,51 @@
+"""Unit tests for INT8 quantization."""
+
+import numpy as np
+import pytest
+
+from repro.grid.quantization import QuantizedTensor, dequantize_int8, quantize_int8
+
+
+def test_roundtrip_error_is_bounded():
+    rng = np.random.default_rng(0)
+    tensor = rng.normal(0, 2.0, size=(100, 12)).astype(np.float32)
+    q = quantize_int8(tensor)
+    recon = q.dequantize()
+    max_err = np.max(np.abs(recon - tensor))
+    assert max_err <= q.scale * 0.5 + 1e-6
+
+
+def test_extreme_value_maps_to_127():
+    tensor = np.array([1.0, -3.0, 2.0], dtype=np.float32)
+    q = quantize_int8(tensor)
+    assert q.values.min() == -127
+    assert q.scale == pytest.approx(3.0 / 127.0)
+
+
+def test_zero_tensor():
+    q = quantize_int8(np.zeros((5, 3)))
+    assert np.all(q.values == 0)
+    assert q.scale == 1.0
+    assert np.all(q.dequantize() == 0.0)
+
+
+def test_empty_tensor():
+    q = quantize_int8(np.zeros((0, 12)))
+    assert q.values.shape == (0, 12)
+    assert q.nbytes == 0
+
+
+def test_nbytes_is_one_per_element():
+    q = quantize_int8(np.ones((7, 12)))
+    assert q.nbytes == 84
+
+
+def test_functional_wrapper_matches_method():
+    tensor = np.linspace(-1, 1, 24).reshape(2, 12)
+    q = quantize_int8(tensor)
+    assert np.allclose(dequantize_int8(q), q.dequantize())
+
+
+def test_quantized_tensor_casts_dtype():
+    q = QuantizedTensor(values=np.array([1.0, 2.0]), scale=0.5)
+    assert q.values.dtype == np.int8

@@ -1,0 +1,161 @@
+"""Unit tests for cameras, ray generation, AABB clipping and sampling."""
+
+import numpy as np
+import pytest
+
+from repro.nerf.rays import (
+    Camera,
+    RayBatch,
+    generate_rays,
+    look_at_pose,
+    ray_aabb_intersect,
+    sample_along_rays,
+)
+
+
+@pytest.fixture()
+def camera():
+    pose = look_at_pose(np.array([0.0, -4.0, 0.0]))
+    return Camera(width=16, height=12, focal=20.0, camera_to_world=pose)
+
+
+class TestCamera:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Camera(width=0, height=4, focal=10.0, camera_to_world=np.eye(4))
+        with pytest.raises(ValueError):
+            Camera(width=4, height=4, focal=-1.0, camera_to_world=np.eye(4))
+        with pytest.raises(ValueError):
+            Camera(width=4, height=4, focal=1.0, camera_to_world=np.eye(3))
+
+    def test_position_extracted_from_pose(self, camera):
+        assert np.allclose(camera.position, [0.0, -4.0, 0.0])
+
+    def test_scaled_preserves_field_of_view(self, camera):
+        half_fov = np.arctan(camera.width / (2 * camera.focal))
+        scaled = camera.scaled(0.5)
+        scaled_fov = np.arctan(scaled.width / (2 * scaled.focal))
+        assert scaled.width == 8
+        assert half_fov == pytest.approx(scaled_fov, rel=1e-6)
+
+
+class TestLookAt:
+    def test_camera_looks_at_target(self):
+        eye = np.array([2.0, 1.0, 3.0])
+        pose = look_at_pose(eye, target=(0, 0, 0))
+        forward = pose[:3, 2]
+        to_eye = eye / np.linalg.norm(eye)
+        assert np.allclose(forward, to_eye, atol=1e-8)
+
+    def test_rotation_is_orthonormal(self):
+        pose = look_at_pose(np.array([1.0, -2.0, 0.5]))
+        rot = pose[:3, :3]
+        assert np.allclose(rot.T @ rot, np.eye(3), atol=1e-9)
+
+    def test_degenerate_up_handled(self):
+        pose = look_at_pose(np.array([0.0, 0.0, 2.0]))  # looking straight down
+        assert np.all(np.isfinite(pose))
+
+    def test_coincident_eye_target_rejected(self):
+        with pytest.raises(ValueError):
+            look_at_pose(np.zeros(3), target=(0, 0, 0))
+
+
+class TestGenerateRays:
+    def test_one_ray_per_pixel(self, camera):
+        rays = generate_rays(camera)
+        assert rays.num_rays == camera.num_pixels
+        assert np.allclose(np.linalg.norm(rays.directions, axis=1), 1.0)
+
+    def test_all_rays_originate_at_camera(self, camera):
+        rays = generate_rays(camera)
+        assert np.allclose(rays.origins, camera.position)
+
+    def test_center_ray_points_at_target(self, camera):
+        # The central pixel's ray should point (roughly) from the camera to the
+        # origin it is looking at.
+        rays = generate_rays(camera)
+        center_index = (camera.height // 2) * camera.width + camera.width // 2
+        direction = rays.directions[center_index]
+        expected = -camera.position / np.linalg.norm(camera.position)
+        assert np.allclose(direction, expected, atol=0.1)
+
+    def test_pixel_subset(self, camera):
+        indices = np.array([0, 5, 17])
+        rays = generate_rays(camera, pixel_indices=indices)
+        full = generate_rays(camera)
+        assert rays.num_rays == 3
+        assert np.allclose(rays.directions, full.directions[indices])
+
+
+class TestAABBIntersect:
+    def test_hitting_ray_gets_tight_bounds(self):
+        rays = RayBatch(
+            origins=np.array([[0.0, -4.0, 0.0]]),
+            directions=np.array([[0.0, 1.0, 0.0]]),
+            near=np.array([0.01]),
+            far=np.array([100.0]),
+        )
+        clipped = ray_aabb_intersect(rays, (-1, -1, -1), (1, 1, 1))
+        assert clipped.near[0] == pytest.approx(3.0)
+        assert clipped.far[0] == pytest.approx(5.0)
+
+    def test_missing_ray_is_marked_invalid(self):
+        rays = RayBatch(
+            origins=np.array([[0.0, -4.0, 5.0]]),
+            directions=np.array([[0.0, 1.0, 0.0]]),
+            near=np.array([0.01]),
+            far=np.array([100.0]),
+        )
+        clipped = ray_aabb_intersect(rays, (-1, -1, -1), (1, 1, 1))
+        assert not clipped.valid_mask()[0]
+
+    def test_axis_parallel_ray_inside_slab(self):
+        rays = RayBatch(
+            origins=np.array([[0.5, -4.0, 0.5]]),
+            directions=np.array([[0.0, 1.0, 0.0]]),
+            near=np.array([0.0]),
+            far=np.array([100.0]),
+        )
+        clipped = ray_aabb_intersect(rays, (-1, -1, -1), (1, 1, 1))
+        assert clipped.valid_mask()[0]
+
+
+class TestSampling:
+    def _rays(self):
+        return RayBatch(
+            origins=np.zeros((3, 3)),
+            directions=np.tile(np.array([[1.0, 0.0, 0.0]]), (3, 1)),
+            near=np.array([1.0, 2.0, 0.5]),
+            far=np.array([2.0, 4.0, 0.5]),
+        )
+
+    def test_samples_within_bounds(self):
+        rays = self._rays()
+        points, t = sample_along_rays(rays, 16)
+        assert points.shape == (3, 16, 3)
+        assert np.all(t >= rays.near[:, None] - 1e-9)
+        assert np.all(t <= rays.far[:, None] + 1e-9)
+
+    def test_deterministic_midpoints(self):
+        rays = self._rays()
+        _, t1 = sample_along_rays(rays, 8)
+        _, t2 = sample_along_rays(rays, 8)
+        assert np.allclose(t1, t2)
+
+    def test_stratified_jitter_stays_in_bins(self):
+        rays = self._rays()
+        rng = np.random.default_rng(0)
+        _, t = sample_along_rays(rays, 8, stratified=True, rng=rng)
+        assert np.all(t >= rays.near[:, None] - 1e-9)
+        assert np.all(t <= rays.far[:, None] + 1e-9)
+
+    def test_degenerate_ray_collapses_to_point(self):
+        rays = self._rays()
+        points, t = sample_along_rays(rays, 4)
+        # Third ray has near == far; all its samples coincide.
+        assert np.allclose(t[2], 0.5)
+
+    def test_invalid_sample_count(self):
+        with pytest.raises(ValueError):
+            sample_along_rays(self._rays(), 0)

@@ -1,0 +1,100 @@
+"""Tests for the volumetric renderer and the dense reference field."""
+
+import numpy as np
+import pytest
+
+from repro.nerf.renderer import DenseGridField, RenderConfig, VolumetricRenderer
+
+
+@pytest.fixture()
+def reference_field(small_scene):
+    return small_scene.reference_field()
+
+
+class TestDenseGridField:
+    def test_query_shapes(self, reference_field, rng):
+        points = rng.uniform(-1, 1, size=(64, 3))
+        dirs = rng.normal(size=(64, 3))
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        density, color = reference_field.query(points, dirs)
+        assert density.shape == (64,)
+        assert color.shape == (64, 3)
+
+    def test_points_outside_bbox_are_empty(self, reference_field):
+        points = np.array([[5.0, 5.0, 5.0], [-3.0, 0.0, 0.0]])
+        dirs = np.tile([[0.0, 0.0, 1.0]], (2, 1))
+        density, color = reference_field.query(points, dirs)
+        assert np.all(density == 0.0)
+        assert np.all(color == 0.0)
+
+    def test_occupied_vertex_yields_density(self, small_scene, reference_field):
+        # Query exactly at occupied vertices: density must be positive there.
+        sparse = small_scene.sparse_grid
+        world = small_scene.grid.spec.grid_to_world(sparse.positions[:10].astype(float))
+        dirs = np.tile([[0.0, 0.0, 1.0]], (world.shape[0], 1))
+        density, _ = reference_field.query(world, dirs)
+        assert np.all(density > 0.0)
+
+    def test_stats_track_active_samples(self, reference_field, rng):
+        points = rng.uniform(-1, 1, size=(128, 3))
+        dirs = np.tile([[0.0, 0.0, 1.0]], (128, 1))
+        reference_field.query(points, dirs)
+        stats = reference_field.last_stats
+        assert stats.num_samples == 128
+        assert 0 <= stats.num_active_samples <= 128
+
+
+class TestVolumetricRenderer:
+    def test_render_image_shape_and_range(self, small_scene):
+        renderer = VolumetricRenderer(small_scene.reference_field(), small_scene.render_config)
+        camera = small_scene.cameras[0]
+        image = renderer.render_image(camera, small_scene.bbox_min, small_scene.bbox_max)
+        assert image.shape == (camera.height, camera.width, 3)
+        assert image.min() >= 0.0
+        assert image.max() <= 1.0
+
+    def test_background_dominates_empty_scene(self, small_scene):
+        from repro.grid.voxel_grid import VoxelGrid
+        from repro.nerf.mlp import build_decoder_mlp
+
+        empty = DenseGridField(VoxelGrid(small_scene.grid.spec), build_decoder_mlp())
+        renderer = VolumetricRenderer(empty, small_scene.render_config)
+        image = renderer.render_image(
+            small_scene.cameras[0], small_scene.bbox_min, small_scene.bbox_max
+        )
+        assert np.allclose(image, 1.0, atol=1e-2)
+
+    def test_scene_image_differs_from_background(self, small_scene):
+        image = small_scene.reference_image(0)
+        # The object must cover a visible fraction of the frame.
+        non_background = np.mean(np.any(np.abs(image - 1.0) > 0.05, axis=-1))
+        assert non_background > 0.05
+
+    def test_render_pixels_matches_full_image(self, small_scene):
+        renderer = VolumetricRenderer(small_scene.reference_field(), small_scene.render_config)
+        camera = small_scene.cameras[0]
+        image = renderer.render_image(camera, small_scene.bbox_min, small_scene.bbox_max)
+        indices = np.array([0, 37, 123, camera.num_pixels - 1])
+        pixels = renderer.render_pixels(camera, indices, small_scene.bbox_min, small_scene.bbox_max)
+        flat = image.reshape(-1, 3)
+        assert np.allclose(pixels, flat[indices], atol=1e-6)
+
+    def test_chunking_does_not_change_result(self, small_scene):
+        camera = small_scene.cameras[0]
+        cfg_small = RenderConfig(num_samples=16, chunk_size=50)
+        cfg_large = RenderConfig(num_samples=16, chunk_size=100000)
+        img_a = VolumetricRenderer(small_scene.reference_field(), cfg_small).render_image(
+            camera, small_scene.bbox_min, small_scene.bbox_max
+        )
+        img_b = VolumetricRenderer(small_scene.reference_field(), cfg_large).render_image(
+            camera, small_scene.bbox_min, small_scene.bbox_max
+        )
+        assert np.allclose(img_a, img_b)
+
+    def test_stats_accumulate_over_image(self, small_scene):
+        renderer = VolumetricRenderer(small_scene.reference_field(), small_scene.render_config)
+        camera = small_scene.cameras[0]
+        renderer.render_image(camera, small_scene.bbox_min, small_scene.bbox_max)
+        stats = renderer.last_stats
+        assert stats.num_rays == camera.num_pixels
+        assert stats.num_samples == camera.num_pixels * small_scene.render_config.num_samples

@@ -1,0 +1,68 @@
+"""Unit tests for COO/CSR/CSC encodings (paper Section II-B)."""
+
+import numpy as np
+
+from repro.grid.sparse_formats import (
+    encode_coo,
+    encode_csc,
+    encode_csr,
+    sparse_encoding_report,
+)
+
+
+def test_coo_stores_all_coordinates(small_sparse_grid):
+    coo = encode_coo(small_sparse_grid)
+    assert coo.num_nonzero == small_sparse_grid.num_points
+    assert coo.coordinate_overhead_bytes == small_sparse_grid.num_points * 12
+
+
+def test_csr_row_pointer_is_monotone_and_complete(small_sparse_grid):
+    csr = encode_csr(small_sparse_grid)
+    assert csr.row_ptr.shape == (small_sparse_grid.spec.resolution + 1,)
+    assert np.all(np.diff(csr.row_ptr) >= 0)
+    assert csr.row_ptr[-1] == small_sparse_grid.num_points
+
+
+def test_csc_col_pointer_is_monotone_and_complete(small_sparse_grid):
+    csc = encode_csc(small_sparse_grid)
+    r = small_sparse_grid.spec.resolution
+    assert csc.col_ptr.shape == (r * r + 1,)
+    assert np.all(np.diff(csc.col_ptr) >= 0)
+    assert csc.col_ptr[-1] == small_sparse_grid.num_points
+
+
+def test_csr_reconstructs_row_membership(small_sparse_grid):
+    csr = encode_csr(small_sparse_grid)
+    rows = small_sparse_grid.positions[:, 0]
+    counts = np.bincount(rows, minlength=small_sparse_grid.spec.resolution)
+    assert np.array_equal(np.diff(csr.row_ptr), counts)
+
+
+def test_coo_overhead_largest_per_nonzero(small_sparse_grid):
+    report = sparse_encoding_report(small_sparse_grid)
+    n = small_sparse_grid.num_points
+    per_nz = {k: v / n for k, v in report.overhead_bytes.items()}
+    # COO stores three explicit coordinates per non-zero; CSR/CSC store one
+    # index plus amortised pointers, so COO always pays the most per entry.
+    assert per_nz["coo"] > per_nz["csr"]
+    assert per_nz["coo"] > per_nz["csc"]
+
+
+def test_total_includes_payload(small_sparse_grid):
+    report = sparse_encoding_report(small_sparse_grid)
+    for name, total in report.total_bytes.items():
+        assert total == report.payload_bytes + report.overhead_bytes[name]
+
+
+def test_lookup_costs_are_at_least_one(small_sparse_grid):
+    report = sparse_encoding_report(small_sparse_grid)
+    for cost in report.lookups_per_access.values():
+        assert cost >= 1.0
+
+
+def test_value_bytes_scales_payload(small_sparse_grid):
+    fp32 = sparse_encoding_report(small_sparse_grid, value_bytes=4)
+    fp16 = sparse_encoding_report(small_sparse_grid, value_bytes=2)
+    assert fp32.payload_bytes == 2 * fp16.payload_bytes
+    # Structure overhead is unaffected by the payload precision.
+    assert fp32.overhead_bytes == fp16.overhead_bytes

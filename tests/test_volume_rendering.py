@@ -1,0 +1,95 @@
+"""Unit tests for volume rendering (alpha compositing)."""
+
+import numpy as np
+import pytest
+
+from repro.nerf.volume_rendering import (
+    composite_rays,
+    compute_weights,
+    density_to_alpha,
+    softplus,
+)
+
+
+class TestSoftplus:
+    def test_positive_everywhere(self):
+        x = np.linspace(-10, 10, 50)
+        assert np.all(softplus(x) > 0)
+
+    def test_linear_for_large_inputs(self):
+        assert softplus(np.array([50.0]))[0] == pytest.approx(50.0)
+
+    def test_monotone(self):
+        x = np.linspace(-5, 5, 100)
+        assert np.all(np.diff(softplus(x)) > 0)
+
+
+class TestAlpha:
+    def test_zero_density_gives_zero_alpha(self):
+        alpha = density_to_alpha(np.array([-50.0]), np.array([0.1]))
+        assert alpha[0] == pytest.approx(0.0, abs=1e-3)
+
+    def test_alpha_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        alpha = density_to_alpha(rng.normal(0, 10, 100), np.full(100, 0.05))
+        assert np.all(alpha >= 0.0)
+        assert np.all(alpha < 1.0)
+
+    def test_alpha_increases_with_delta(self):
+        a1 = density_to_alpha(np.array([5.0]), np.array([0.01]))
+        a2 = density_to_alpha(np.array([5.0]), np.array([0.1]))
+        assert a2 > a1
+
+
+class TestWeights:
+    def test_weights_sum_at_most_one(self):
+        rng = np.random.default_rng(1)
+        alphas = rng.uniform(0, 1, size=(10, 20))
+        weights = compute_weights(alphas)
+        assert np.all(weights.sum(axis=-1) <= 1.0 + 1e-9)
+
+    def test_opaque_first_sample_takes_all(self):
+        alphas = np.array([[1.0, 0.5, 0.5]])
+        weights = compute_weights(alphas)
+        assert weights[0, 0] == pytest.approx(1.0)
+        assert np.allclose(weights[0, 1:], 0.0, atol=1e-9)
+
+    def test_transparent_ray_has_zero_weight(self):
+        weights = compute_weights(np.zeros((1, 8)))
+        assert np.allclose(weights, 0.0)
+
+
+class TestComposite:
+    def test_background_fills_transparent_rays(self):
+        density = np.full((2, 4), -100.0)
+        rgb = np.zeros((2, 4, 3))
+        t = np.tile(np.linspace(0, 1, 4), (2, 1))
+        pixels, _, acc = composite_rays(density, rgb, t, background=np.array([1.0, 1.0, 1.0]))
+        assert np.allclose(pixels, 1.0, atol=1e-3)
+        assert np.allclose(acc, 0.0, atol=1e-3)
+
+    def test_opaque_surface_returns_surface_color(self):
+        density = np.concatenate([np.full((1, 2), -100.0), np.full((1, 6), 100.0)], axis=1)
+        rgb = np.zeros((1, 8, 3))
+        rgb[:, 2:, 0] = 1.0  # red surface
+        t = np.linspace(0, 1, 8)[None, :]
+        pixels, _, acc = composite_rays(density, rgb, t, background=np.array([0.0, 1.0, 0.0]))
+        assert pixels[0, 0] == pytest.approx(1.0, abs=1e-2)
+        assert pixels[0, 1] == pytest.approx(0.0, abs=1e-2)
+        assert acc[0] == pytest.approx(1.0, abs=1e-3)
+
+    def test_pixel_values_are_convex_combination(self):
+        rng = np.random.default_rng(2)
+        density = rng.normal(0, 3, size=(5, 16))
+        rgb = rng.uniform(0, 1, size=(5, 16, 3))
+        t = np.tile(np.linspace(0.1, 2.0, 16), (5, 1))
+        pixels, weights, acc = composite_rays(density, rgb, t)
+        assert np.all(pixels >= -1e-9)
+        assert np.all(pixels <= 1.0 + 1e-9)
+        assert np.allclose(weights.sum(axis=-1), acc)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            composite_rays(np.zeros((2, 4)), np.zeros((2, 4, 3)), np.zeros((2, 5)))
+        with pytest.raises(ValueError):
+            composite_rays(np.zeros((2, 4)), np.zeros((2, 3, 3)), np.zeros((2, 4)))

@@ -1,0 +1,127 @@
+"""Unit tests for repro.grid.voxel_grid."""
+
+import numpy as np
+import pytest
+
+from repro.grid.voxel_grid import GridSpec, SparseVoxelGrid, VoxelGrid
+
+
+class TestGridSpec:
+    def test_num_vertices(self):
+        assert GridSpec(resolution=8).num_vertices == 512
+
+    def test_voxel_size_matches_bbox(self):
+        spec = GridSpec(resolution=5, bbox_min=(-2, -2, -2), bbox_max=(2, 2, 2))
+        assert np.allclose(spec.voxel_size, 1.0)
+
+    def test_world_to_grid_roundtrip(self):
+        spec = GridSpec(resolution=16)
+        points = np.array([[0.0, 0.5, -0.5], [-1.0, -1.0, -1.0], [1.0, 1.0, 1.0]])
+        recovered = spec.grid_to_world(spec.world_to_grid(points))
+        assert np.allclose(recovered, points)
+
+    def test_world_to_grid_corners(self):
+        spec = GridSpec(resolution=9)
+        coords = spec.world_to_grid(np.array([[-1.0, -1.0, -1.0], [1.0, 1.0, 1.0]]))
+        assert np.allclose(coords[0], 0.0)
+        assert np.allclose(coords[1], 8.0)
+
+    def test_contains(self):
+        spec = GridSpec(resolution=4)
+        points = np.array([[0.0, 0.0, 0.0], [1.5, 0.0, 0.0], [-1.0, 1.0, 0.3]])
+        assert list(spec.contains(points)) == [True, False, True]
+
+    def test_invalid_resolution_rejected(self):
+        with pytest.raises(ValueError):
+            GridSpec(resolution=1)
+
+    def test_invalid_bbox_rejected(self):
+        with pytest.raises(ValueError):
+            GridSpec(resolution=4, bbox_min=(1, 1, 1), bbox_max=(-1, -1, -1))
+
+    def test_invalid_feature_dim_rejected(self):
+        with pytest.raises(ValueError):
+            GridSpec(resolution=4, feature_dim=0)
+
+
+class TestVoxelGrid:
+    def test_default_grids_are_zero(self):
+        grid = VoxelGrid(GridSpec(resolution=4, feature_dim=3))
+        assert grid.density.shape == (4, 4, 4)
+        assert grid.features.shape == (4, 4, 4, 3)
+        assert grid.occupancy_fraction() == 0.0
+
+    def test_shape_validation(self):
+        spec = GridSpec(resolution=4, feature_dim=3)
+        with pytest.raises(ValueError):
+            VoxelGrid(spec, density=np.zeros((3, 3, 3)))
+        with pytest.raises(ValueError):
+            VoxelGrid(spec, features=np.zeros((4, 4, 4, 5)))
+
+    def test_occupancy_counts_density_and_features(self, tiny_grid):
+        assert tiny_grid.occupancy_mask().sum() == 4
+        # A vertex with zero density but non-zero features is still occupied.
+        tiny_grid2 = tiny_grid.copy()
+        tiny_grid2.features[0, 0, 0, 2] = 1.0
+        assert tiny_grid2.occupancy_mask().sum() == 5
+
+    def test_sparsity_complements_occupancy(self, tiny_grid):
+        assert tiny_grid.sparsity() + tiny_grid.occupancy_fraction() == pytest.approx(1.0)
+
+    def test_memory_bytes(self):
+        grid = VoxelGrid(GridSpec(resolution=4, feature_dim=12))
+        assert grid.memory_bytes(dtype_bytes=4) == 64 * 13 * 4
+
+    def test_vertex_values_clipped(self, tiny_grid):
+        density, features = tiny_grid.vertex_values(np.array([[100, 100, 100]]))
+        # Clipped to the last vertex, which is empty in this fixture.
+        assert density[0] == 0.0
+        assert np.all(features[0] == 0.0)
+
+    def test_to_sparse_roundtrip(self, tiny_grid):
+        sparse = tiny_grid.to_sparse()
+        assert sparse.num_points == 4
+        dense = sparse.to_dense()
+        assert np.allclose(dense.density, tiny_grid.density)
+        assert np.allclose(dense.features, tiny_grid.features)
+
+
+class TestSparseVoxelGrid:
+    def test_shape_validation(self):
+        spec = GridSpec(resolution=4, feature_dim=2)
+        with pytest.raises(ValueError):
+            SparseVoxelGrid(
+                spec=spec,
+                positions=np.zeros((3, 3)),
+                density=np.zeros(2),
+                features=np.zeros((3, 2)),
+            )
+
+    def test_linear_indices_unique_per_vertex(self, tiny_grid):
+        sparse = tiny_grid.to_sparse()
+        linear = sparse.linear_indices()
+        assert len(set(linear.tolist())) == sparse.num_points
+        assert linear.max() < tiny_grid.spec.num_vertices
+
+    def test_occupancy_bitmap_matches_positions(self, tiny_grid):
+        sparse = tiny_grid.to_sparse()
+        bitmap = sparse.occupancy_bitmap()
+        assert bitmap.sum() == sparse.num_points
+        for pos in sparse.positions:
+            assert bitmap[tuple(pos)]
+
+    def test_lookup_exact_and_missing(self, tiny_grid):
+        sparse = tiny_grid.to_sparse()
+        hit = sparse.positions[:2]
+        miss = np.array([[0, 0, 0], [7, 7, 7]])
+        density, features = sparse.lookup(np.vstack([hit, miss]))
+        assert np.all(density[:2] > 0.0)
+        assert np.all(density[2:] == 0.0)
+        assert np.all(features[2:] == 0.0)
+
+    def test_dense_memory_exceeds_payload(self, small_sparse_grid):
+        assert small_sparse_grid.dense_memory_bytes() > small_sparse_grid.payload_memory_bytes()
+
+    def test_scene_occupancy_in_sparse_regime(self, small_sparse_grid):
+        # Procedural scenes must stay in the sparse regime the paper profiles.
+        assert small_sparse_grid.occupancy_fraction() < 0.25

@@ -1,0 +1,145 @@
+"""Tests for the VQRF baseline: importance, pruning, VQ and the model."""
+
+import numpy as np
+import pytest
+
+from repro.vqrf.importance import importance_from_density, importance_from_rays
+from repro.vqrf.model import VQRFField, compress_scene
+from repro.vqrf.pruning import prune_by_importance
+from repro.vqrf.vector_quantization import build_codebook
+
+
+class TestImportance:
+    def test_density_heuristic_nonnegative(self, small_sparse_grid):
+        scores = importance_from_density(small_sparse_grid)
+        assert scores.shape == (small_sparse_grid.num_points,)
+        assert np.all(scores >= 0.0)
+
+    def test_score_increases_with_density_and_features(self):
+        from repro.grid.voxel_grid import GridSpec, SparseVoxelGrid
+
+        spec = GridSpec(resolution=8, feature_dim=4)
+        positions = np.array([[1, 1, 1], [2, 2, 2], [3, 3, 3]])
+        density = np.array([1.0, 10.0, 100.0], dtype=np.float32)
+        features = np.tile(np.ones(4, dtype=np.float32), (3, 1)) * np.array([[1], [1], [1]])
+        sparse = SparseVoxelGrid(spec=spec, positions=positions, density=density, features=features)
+        scores = importance_from_density(sparse)
+        assert scores[0] < scores[1] < scores[2]
+
+    def test_ray_importance_concentrates_on_occupied(self, small_scene):
+        importance = importance_from_rays(
+            small_scene.grid, small_scene.cameras[:1], num_samples=24, max_rays_per_camera=256
+        )
+        occupied = small_scene.grid.occupancy_mask()
+        assert importance.shape == occupied.shape
+        assert importance[occupied].sum() > 0.0
+        # Visible occupied vertices must receive (much) more importance mass
+        # than empty space.
+        assert importance[occupied].mean() > importance[~occupied].mean()
+
+
+class TestPruning:
+    def test_three_way_split_partitions(self, small_sparse_grid):
+        importance = importance_from_density(small_sparse_grid)
+        result = prune_by_importance(small_sparse_grid, importance, 0.1, 0.2)
+        n = small_sparse_grid.num_points
+        assert result.num_pruned + result.num_quantized + result.num_kept == n
+        all_idx = np.concatenate(
+            [result.pruned_indices, result.quantized_indices, result.kept_indices]
+        )
+        assert len(np.unique(all_idx)) == n
+
+    def test_kept_voxels_are_most_important(self, small_sparse_grid):
+        importance = importance_from_density(small_sparse_grid)
+        result = prune_by_importance(small_sparse_grid, importance, 0.1, 0.2)
+        if result.num_pruned and result.num_kept:
+            assert importance[result.kept_indices].min() >= importance[result.pruned_indices].max()
+
+    def test_fraction_validation(self, small_sparse_grid):
+        importance = importance_from_density(small_sparse_grid)
+        with pytest.raises(ValueError):
+            prune_by_importance(small_sparse_grid, importance, prune_fraction=0.8, keep_fraction=0.5)
+        with pytest.raises(ValueError):
+            prune_by_importance(small_sparse_grid, importance, prune_fraction=-0.1)
+        with pytest.raises(ValueError):
+            prune_by_importance(small_sparse_grid, importance[:-1])
+
+
+class TestVectorQuantization:
+    def test_codebook_shape_and_padding(self):
+        rng = np.random.default_rng(0)
+        vectors = rng.normal(size=(200, 12))
+        quantizer = build_codebook(vectors, num_entries=64, num_iterations=3)
+        assert quantizer.codebook.shape == (64, 12)
+
+    def test_padding_when_few_vectors(self):
+        vectors = np.random.default_rng(1).normal(size=(10, 4))
+        quantizer = build_codebook(vectors, num_entries=32, num_iterations=2)
+        assert quantizer.num_entries == 32
+
+    def test_encode_decode_reduces_error_vs_random(self):
+        rng = np.random.default_rng(2)
+        centers = rng.normal(0, 5, size=(8, 6))
+        vectors = np.repeat(centers, 50, axis=0) + rng.normal(0, 0.05, size=(400, 6))
+        quantizer = build_codebook(vectors, num_entries=8, num_iterations=10)
+        assert quantizer.quantization_error(vectors) < 0.1
+
+    def test_encode_indices_in_range(self, small_sparse_grid):
+        quantizer = build_codebook(small_sparse_grid.features, num_entries=32, num_iterations=2)
+        indices = quantizer.encode(small_sparse_grid.features)
+        assert indices.min() >= 0
+        assert indices.max() < 32
+
+    def test_decode_out_of_range_rejected(self):
+        quantizer = build_codebook(np.random.default_rng(3).normal(size=(50, 4)), 16, 2)
+        with pytest.raises(IndexError):
+            quantizer.decode(np.array([99]))
+
+    def test_empty_input_encode(self):
+        quantizer = build_codebook(np.random.default_rng(4).normal(size=(50, 4)), 16, 2)
+        assert quantizer.encode(np.zeros((0, 4))).shape == (0,)
+
+    def test_memory_bytes(self):
+        quantizer = build_codebook(np.random.default_rng(5).normal(size=(50, 12)), 64, 1)
+        assert quantizer.memory_bytes(2) == 64 * 12 * 2
+
+
+class TestVQRFModel:
+    def test_compression_preserves_survivor_count(self, small_sparse_grid, vqrf_model):
+        n = small_sparse_grid.num_points
+        assert vqrf_model.num_voxels <= n
+        assert vqrf_model.num_voxels >= int(0.9 * n)  # only 5 % pruned by default
+
+    def test_true_and_quantized_partition(self, vqrf_model):
+        assert vqrf_model.num_true_voxels + vqrf_model.num_quantized_voxels == vqrf_model.num_voxels
+
+    def test_restore_shape(self, small_scene, vqrf_model):
+        restored = vqrf_model.restore()
+        assert restored.spec.resolution == small_scene.grid.spec.resolution
+        assert restored.occupancy_fraction() <= small_scene.occupancy_fraction()
+
+    def test_true_voxels_restored_accurately(self, small_scene, vqrf_model):
+        # Kept (true) voxels only pass through INT8 quantization, so their
+        # features must be close to the originals.
+        restored = vqrf_model.restore()
+        positions = vqrf_model.positions[vqrf_model.is_true_voxel]
+        original = small_scene.grid.features[positions[:, 0], positions[:, 1], positions[:, 2]]
+        recovered = restored.features[positions[:, 0], positions[:, 1], positions[:, 2]]
+        scale = vqrf_model.true_features.scale
+        assert np.max(np.abs(original - recovered)) <= scale * 0.51 + 1e-6
+
+    def test_compressed_much_smaller_than_restored(self, vqrf_model):
+        compressed = vqrf_model.compressed_size_bytes()["total"]
+        assert compressed < 0.25 * vqrf_model.restored_size_bytes()
+
+    def test_field_renders_close_to_reference(self, small_scene, vqrf_model):
+        from repro.nerf.metrics import psnr
+        from repro.nerf.renderer import VolumetricRenderer
+
+        field = VQRFField(vqrf_model, small_scene.mlp)
+        renderer = VolumetricRenderer(field, small_scene.render_config)
+        image = renderer.render_image(
+            small_scene.cameras[0], small_scene.bbox_min, small_scene.bbox_max
+        )
+        reference = small_scene.reference_image(0)
+        assert psnr(image, reference) > 25.0
