@@ -19,12 +19,18 @@ from typing import Dict, List
 
 import pytest
 
-from repro.core.config import SpNeRFConfig
-from repro.core.pipeline import SpNeRFBundle, build_spnerf_from_scene
-from repro.datasets.scenes import SCENE_NAMES
-from repro.datasets.synthetic import SyntheticScene, load_scene
-from repro.hardware.accelerator import SpNeRFAccelerator
-from repro.hardware.workload import FrameWorkload, workload_from_render
+from repro.api import (
+    SCENE_NAMES,
+    FrameWorkload,
+    PipelineConfig,
+    SpNeRFAccelerator,
+    SpNeRFBundle,
+    SpNeRFConfig,
+    SyntheticScene,
+    build_bundle,
+    load_scene,
+    workload_from_render,
+)
 
 #: Grid resolution used for rendering-based studies (keeps a full 8-scene
 #: sweep to a few minutes); the paper's grids are ~160^3.
@@ -35,6 +41,11 @@ MEMORY_RESOLUTION = 160
 
 #: Paper configuration: 64 subgrids, 32k hash entries, 4096-entry codebook.
 PAPER_CONFIG = SpNeRFConfig()
+
+#: Pipeline-level configs for the two bundle resolutions (differing only in
+#: how many k-means iterations compression spends).
+RENDER_PIPELINE_CONFIG = PipelineConfig(spnerf=PAPER_CONFIG, kmeans_iterations=4, seed=0)
+MEMORY_PIPELINE_CONFIG = PipelineConfig(spnerf=PAPER_CONFIG, kmeans_iterations=2, seed=0)
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -60,10 +71,7 @@ def render_scenes() -> List[SyntheticScene]:
 @pytest.fixture(scope="session")
 def render_bundles(render_scenes) -> List[SpNeRFBundle]:
     """Scene -> VQRF -> SpNeRF bundles (paper config) at rendering resolution."""
-    return [
-        build_spnerf_from_scene(scene, PAPER_CONFIG, kmeans_iterations=4, seed=0)
-        for scene in render_scenes
-    ]
+    return [build_bundle(scene, RENDER_PIPELINE_CONFIG) for scene in render_scenes]
 
 
 @pytest.fixture(scope="session")
@@ -74,9 +82,7 @@ def memory_bundles() -> List[SpNeRFBundle]:
         scene = load_scene(
             name, resolution=MEMORY_RESOLUTION, image_size=50, num_views=1, num_samples=64
         )
-        bundles.append(
-            build_spnerf_from_scene(scene, PAPER_CONFIG, kmeans_iterations=2, seed=0)
-        )
+        bundles.append(build_bundle(scene, MEMORY_PIPELINE_CONFIG))
     return bundles
 
 

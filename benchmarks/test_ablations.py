@@ -11,11 +11,10 @@ from conftest import save_result
 
 from repro.analysis.quality import psnr_study
 from repro.analysis.reporting import format_table
-from repro.core.pipeline import SpNeRFField
+from repro.api import RenderEngine, field_from_bundle
 from repro.hardware.accelerator import AcceleratorConfig, SpNeRFAccelerator
 from repro.hardware.buffers import BlockCirculantInputBuffer, NaiveInputBuffer
 from repro.nerf.metrics import psnr
-from repro.nerf.renderer import VolumetricRenderer
 
 
 def _lego_bundle(render_bundles):
@@ -92,18 +91,12 @@ def test_ablation_true_grid_quantization(benchmark, render_bundles):
         pixels = np.sort(rng.choice(camera.num_pixels, size=1500, replace=False))
         reference = scene.reference_pixels(0, pixels)
 
-        int8_pixels = VolumetricRenderer(
-            SpNeRFField(bundle.spnerf_model, scene.mlp), scene.render_config
-        ).render_pixels(camera, pixels, scene.bbox_min, scene.bbox_max)
+        int8_pixels = RenderEngine(field_from_bundle(bundle, "spnerf")).render_pixels(pixels)
 
         # FP16 variant: decode through the exact (un-quantized) features by
         # rendering the VQRF restore path, which stores features in floating
         # point — isolating the INT8 loss.
-        from repro.vqrf.model import VQRFField
-
-        fp_pixels = VolumetricRenderer(
-            VQRFField(bundle.vqrf_model, scene.mlp), scene.render_config
-        ).render_pixels(camera, pixels, scene.bbox_min, scene.bbox_max)
+        fp_pixels = RenderEngine(field_from_bundle(bundle, "vqrf")).render_pixels(pixels)
 
         int8_bytes = bundle.spnerf_model.true_features.nbytes
         fp16_bytes = int8_bytes * 2

@@ -14,8 +14,7 @@ import argparse
 
 from repro.analysis.reporting import format_table
 from repro.analysis.sweep import hash_table_size_sweep, subgrid_sweep
-from repro.core import SpNeRFConfig, build_spnerf_from_scene
-from repro.datasets import SCENE_NAMES, load_scene
+from repro.api import SCENE_NAMES, build_bundle, load_scene
 
 
 def main() -> None:
@@ -29,7 +28,7 @@ def main() -> None:
     print(f"Preparing scene '{args.scene}' ...")
     scene = load_scene(args.scene, resolution=args.resolution, image_size=80,
                        num_views=2, num_samples=96)
-    bundle = build_spnerf_from_scene(scene, SpNeRFConfig())
+    bundle = build_bundle(scene)
 
     print("Sweeping subgrid count (hash table size fixed at 16k) ...")
     subgrid_rows = subgrid_sweep(

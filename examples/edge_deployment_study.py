@@ -18,11 +18,12 @@ from __future__ import annotations
 import argparse
 
 from repro.analysis.reporting import format_table
-from repro.core import SpNeRFConfig, build_spnerf_from_scene
-from repro.datasets import SCENE_NAMES, load_scene
-from repro.hardware import (
+from repro.api import (
+    SCENE_NAMES,
     GPUPlatformModel,
     SpNeRFAccelerator,
+    build_bundle,
+    load_scene,
     workload_from_render,
 )
 
@@ -36,7 +37,7 @@ def main() -> None:
     print(f"Building scene '{args.scene}' and SpNeRF model ...")
     scene = load_scene(args.scene, resolution=args.resolution, image_size=64,
                        num_views=2, num_samples=96)
-    bundle = build_spnerf_from_scene(scene, SpNeRFConfig())
+    bundle = build_bundle(scene)
     workload = workload_from_render(bundle, probe_resolution=48)
 
     print(f"  measured workload: {workload.active_samples_per_ray:.2f} active samples/ray, "

@@ -1,14 +1,15 @@
 #!/usr/bin/env python
 """Quickstart: compress a scene with VQRF, preprocess it for SpNeRF, render.
 
-Runs the complete SpNeRF flow on one procedural Synthetic-NeRF-analog scene:
+Runs the complete SpNeRF flow on one procedural Synthetic-NeRF-analog scene
+through the :mod:`repro.api` facade:
 
 1. load a scene (voxel grid + decoder MLP + cameras),
-2. compress it with the VQRF baseline (pruning + vector quantization),
-3. run SpNeRF's hash-mapping preprocessing (subgrid hash tables + bitmap),
-4. render the same view with the dense reference, the VQRF restore flow and
-   SpNeRF online decoding (with and without bitmap masking),
-5. report PSNR and the memory footprints.
+2. compress and preprocess it once with ``build_bundle``, then derive the
+   pipeline fields with ``field_from_bundle`` — the VQRF restore baseline
+   and SpNeRF online decoding with and without bitmap masking,
+3. render the same view of every field with one ``RenderEngine`` and read
+   PSNR and the memory footprints off the returned ``RenderResult``.
 
 Takes well under a minute on a laptop.  Increase ``--resolution`` and
 ``--image-size`` for higher fidelity.
@@ -18,10 +19,15 @@ from __future__ import annotations
 
 import argparse
 
-from repro.core import SpNeRFConfig, SpNeRFField, build_spnerf_from_scene
-from repro.datasets import SCENE_NAMES, load_scene
-from repro.nerf import VolumetricRenderer, psnr
-from repro.vqrf import VQRFField
+from repro.api import (
+    SCENE_NAMES,
+    RenderEngine,
+    RenderRequest,
+    SpNeRFConfig,
+    build_bundle,
+    field_from_bundle,
+    load_scene,
+)
 
 
 def main() -> None:
@@ -45,31 +51,25 @@ def main() -> None:
         num_subgrids=args.num_subgrids, hash_table_size=args.hash_table_size
     )
     print("Compressing with VQRF and preprocessing for SpNeRF ...")
-    bundle = build_spnerf_from_scene(scene, config)
+    bundle = build_bundle(scene, config)
     spnerf_model = bundle.spnerf_model
     print(f"  hash-table collision rate: {spnerf_model.hash_tables.collision_rate * 100:.2f} %")
 
-    print("Rendering (reference / VQRF / SpNeRF masked / SpNeRF unmasked) ...")
-    reference = scene.reference_image(0)
-
-    def render(field):
-        renderer = VolumetricRenderer(field, scene.render_config)
-        return renderer.render_image(scene.cameras[0], scene.bbox_min, scene.bbox_max)
-
-    vqrf_image = render(VQRFField(bundle.vqrf_model, scene.mlp))
-    masked_image = render(bundle.field)
-    unmasked_image = render(
-        SpNeRFField(spnerf_model, scene.mlp, use_bitmap_masking=False)
-    )
+    print("Rendering (VQRF / SpNeRF masked / SpNeRF unmasked) vs the dense reference ...")
+    request = RenderRequest(camera_indices=(0,), compare_to_reference=True)
+    results = {
+        name: RenderEngine(field_from_bundle(bundle, name)).render(request)
+        for name in ("vqrf", "spnerf", "spnerf-nomask")
+    }
 
     print("\n=== Quality (PSNR vs dense reference) ===")
-    print(f"  VQRF (restore full grid):      {psnr(vqrf_image, reference):6.2f} dB")
-    print(f"  SpNeRF without bitmap masking: {psnr(unmasked_image, reference):6.2f} dB")
-    print(f"  SpNeRF with bitmap masking:    {psnr(masked_image, reference):6.2f} dB")
+    print(f"  VQRF (restore full grid):      {results['vqrf'].mean_psnr:6.2f} dB")
+    print(f"  SpNeRF without bitmap masking: {results['spnerf-nomask'].mean_psnr:6.2f} dB")
+    print(f"  SpNeRF with bitmap masking:    {results['spnerf'].mean_psnr:6.2f} dB")
 
     print("\n=== Rendering-time voxel-grid memory ===")
-    restored = bundle.vqrf_model.restored_size_bytes()
-    breakdown = spnerf_model.memory_breakdown()
+    restored = results["vqrf"].memory["total"]
+    breakdown = results["spnerf"].memory
     print(f"  VQRF restored dense grid: {restored / 1e6:8.2f} MB")
     print(f"  SpNeRF total:             {breakdown['total'] / 1e6:8.2f} MB "
           f"({restored / breakdown['total']:.1f}x smaller)")

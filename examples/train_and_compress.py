@@ -16,10 +16,16 @@ import argparse
 
 import numpy as np
 
-from repro.core import SpNeRFConfig, build_spnerf_from_scene
-from repro.datasets import SCENE_NAMES, load_scene
-from repro.nerf import VolumetricRenderer, positional_encoding, psnr, train_decoder_mlp
-from repro.vqrf import VQRFField
+from repro.api import (
+    SCENE_NAMES,
+    RenderEngine,
+    SpNeRFConfig,
+    build_field,
+    load_scene,
+    psnr,
+    train_decoder_mlp,
+)
+from repro.nerf import positional_encoding
 
 
 def build_training_set(scene, num_samples: int, seed: int = 0):
@@ -62,18 +68,19 @@ def main() -> None:
           f"{psnr(retrained_reference, reference):.2f} dB")
 
     print("Compressing + SpNeRF preprocessing with the trained decoder ...")
-    bundle = build_spnerf_from_scene(scene, SpNeRFConfig(num_subgrids=32, hash_table_size=8192))
+    config = SpNeRFConfig(num_subgrids=32, hash_table_size=8192)
+    vqrf_field = build_field("vqrf", scene, config)
+    spnerf_field = build_field("spnerf", scene, config)  # reuses the cached VQRF model
 
     def render(field):
-        renderer = VolumetricRenderer(field, scene.render_config)
-        return renderer.render_image(scene.cameras[0], scene.bbox_min, scene.bbox_max)
+        return RenderEngine(field).render_image(0)
 
-    vqrf_psnr = psnr(render(VQRFField(bundle.vqrf_model, scene.mlp)), retrained_reference)
-    spnerf_psnr = psnr(render(bundle.field), retrained_reference)
+    vqrf_psnr = psnr(render(vqrf_field), retrained_reference)
+    spnerf_psnr = psnr(render(spnerf_field), retrained_reference)
     print(f"  VQRF restore flow:    {vqrf_psnr:6.2f} dB")
     print(f"  SpNeRF online decode: {spnerf_psnr:6.2f} dB")
     print(f"  memory reduction:     "
-          f"{bundle.vqrf_model.restored_size_bytes() / bundle.spnerf_model.memory_bytes():.1f}x")
+          f"{vqrf_field.memory_report()['total'] / spnerf_field.memory_report()['total']:.1f}x")
 
 
 if __name__ == "__main__":

@@ -1,4 +1,58 @@
-"""Setuptools shim for environments that install with legacy (non-PEP-517) mode."""
-from setuptools import setup
+"""Setuptools packaging for the SpNeRF reproduction.
 
-setup()
+``pip install -e .`` installs ``repro`` from ``src/`` so examples, tests and
+benchmarks run without ``PYTHONPATH=src``.  The version is sourced from
+``repro.__version__`` (parsed textually so installation does not require the
+package's dependencies to be importable yet).
+"""
+
+import re
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+
+def read_version() -> str:
+    init = Path(__file__).parent / "src" / "repro" / "__init__.py"
+    match = re.search(r'^__version__ = "([^"]+)"', init.read_text(encoding="utf-8"), re.M)
+    if not match:
+        raise RuntimeError("unable to find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
+def read_long_description() -> str:
+    readme = Path(__file__).parent / "README.md"
+    return readme.read_text(encoding="utf-8") if readme.exists() else ""
+
+
+setup(
+    name="spnerf-repro",
+    version=read_version(),
+    description=(
+        "Pure-Python reproduction of SpNeRF: memory-efficient sparse volumetric "
+        "neural rendering for edge devices (algorithm + accelerator simulation)"
+    ),
+    long_description=read_long_description(),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.24",
+        "scipy>=1.10",
+    ],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering",
+    ],
+)

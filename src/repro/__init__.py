@@ -6,6 +6,12 @@ Volumetric Neural Rendering Accelerator for Edge Devices* as a pure-Python
 
 Top-level subpackages
 ---------------------
+``repro.api``
+    The unified facade: the :class:`~repro.api.RadianceField` protocol, the
+    pipeline registry (``build_field`` / ``register_pipeline``) with cached
+    VQRF compression, and the chunked/batched ``RenderEngine`` with its
+    ``RenderRequest`` / ``RenderResult`` pair.  Examples, analysis drivers
+    and benchmarks construct and render through this facade.
 ``repro.grid``
     Voxel-grid substrate: dense and sparse grids, COO/CSR/CSC encodings,
     trilinear interpolation and INT8 quantization.
@@ -32,6 +38,7 @@ Top-level subpackages
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "core",
     "grid",
     "nerf",

@@ -21,9 +21,12 @@ the paper's evaluation section:
 from repro.analysis.comparison import (
     AcceleratorComparison,
     EdgePlatformComparison,
+    accelerator_comparison_study,
     area_power_breakdowns,
     compare_against_edge_platforms,
     comparison_table,
+    edge_platform_study,
+    workloads_from_bundles,
 )
 from repro.analysis.memory import MemoryReductionResult, encoding_overhead_report, memory_reduction_study
 from repro.analysis.profiling import (
@@ -50,8 +53,11 @@ __all__ = [
     "hash_table_size_sweep",
     "EdgePlatformComparison",
     "compare_against_edge_platforms",
+    "edge_platform_study",
     "AcceleratorComparison",
     "comparison_table",
+    "accelerator_comparison_study",
     "area_power_breakdowns",
+    "workloads_from_bundles",
     "format_table",
 ]

@@ -1,12 +1,20 @@
-"""Hardware comparisons (Fig. 8, Fig. 9, Table II)."""
+"""Hardware comparisons (Fig. 8, Fig. 9, Table II).
+
+The low-level entry points consume pre-measured
+:class:`~repro.hardware.workload.FrameWorkload`\\ s; callers holding
+:class:`~repro.core.pipeline.SpNeRFBundle`\\ s (as produced by
+:func:`repro.api.build_bundle`) can use :func:`workloads_from_bundles` or the
+``*_study`` conveniences, which measure the workloads first.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.pipeline import SpNeRFBundle
 from repro.hardware.accelerator import PerformanceReport, SpNeRFAccelerator
 from repro.hardware.baselines import (
     NEUREX_EDGE,
@@ -15,15 +23,25 @@ from repro.hardware.baselines import (
     GPUPlatformModel,
 )
 from repro.hardware.platforms import PLATFORMS
-from repro.hardware.workload import FrameWorkload
+from repro.hardware.workload import FrameWorkload, workload_from_render
 
 __all__ = [
     "EdgePlatformComparison",
     "compare_against_edge_platforms",
+    "edge_platform_study",
     "AcceleratorComparison",
     "comparison_table",
+    "accelerator_comparison_study",
     "area_power_breakdowns",
+    "workloads_from_bundles",
 ]
+
+
+def workloads_from_bundles(
+    bundles: Sequence[SpNeRFBundle], probe_resolution: int = 48
+) -> List[FrameWorkload]:
+    """Measure each bundle's paper-scale frame workload by probe rendering."""
+    return [workload_from_render(b, probe_resolution=probe_resolution) for b in bundles]
 
 
 @dataclass
@@ -91,6 +109,18 @@ def compare_against_edge_platforms(
             )
         )
     return rows
+
+
+def edge_platform_study(
+    bundles: Sequence[SpNeRFBundle],
+    accelerator: Optional[SpNeRFAccelerator] = None,
+    probe_resolution: int = 48,
+) -> List[EdgePlatformComparison]:
+    """Fig. 8 straight from bundles: measure workloads, then compare."""
+    return compare_against_edge_platforms(
+        accelerator or SpNeRFAccelerator(),
+        workloads_from_bundles(bundles, probe_resolution=probe_resolution),
+    )
 
 
 @dataclass
@@ -165,6 +195,18 @@ def comparison_table(
     }
     return AcceleratorComparison(
         rows=[_accelerator_row(RT_NERF_EDGE), _accelerator_row(NEUREX_EDGE), spnerf_row]
+    )
+
+
+def accelerator_comparison_study(
+    bundles: Sequence[SpNeRFBundle],
+    accelerator: Optional[SpNeRFAccelerator] = None,
+    probe_resolution: int = 48,
+) -> AcceleratorComparison:
+    """Table II straight from bundles: measure workloads, then tabulate."""
+    return comparison_table(
+        accelerator or SpNeRFAccelerator(),
+        workloads_from_bundles(bundles, probe_resolution=probe_resolution),
     )
 
 

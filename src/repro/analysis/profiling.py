@@ -10,7 +10,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 from repro.datasets.synthetic import SyntheticScene
 from repro.hardware.baselines import GPUPlatformModel

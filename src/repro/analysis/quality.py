@@ -21,10 +21,9 @@ from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
-from repro.core.pipeline import SpNeRFBundle, SpNeRFField
+from repro.api import RenderEngine, RenderRequest, field_from_bundle
+from repro.core.pipeline import SpNeRFBundle
 from repro.nerf.metrics import psnr
-from repro.nerf.renderer import VolumetricRenderer
-from repro.vqrf.model import VQRFField
 
 __all__ = ["PSNRResult", "psnr_study", "render_pixel_subset"]
 
@@ -73,11 +72,13 @@ def render_pixel_subset(
     pixel_indices: np.ndarray,
     camera_index: int = 0,
 ) -> np.ndarray:
-    """Render the selected pixels of one camera with an arbitrary field."""
-    scene = bundle.scene
-    renderer = VolumetricRenderer(field, scene.render_config)
-    camera = scene.cameras[camera_index]
-    return renderer.render_pixels(camera, pixel_indices, scene.bbox_min, scene.bbox_max)
+    """Render the selected pixels of one camera with an arbitrary field.
+
+    Deprecated shim: new code should use :class:`repro.api.RenderEngine`
+    (``RenderEngine(field, scene).render_pixels(pixel_indices, camera_index)``).
+    """
+    engine = RenderEngine(field, scene=bundle.scene)
+    return engine.render_pixels(pixel_indices, camera_index)
 
 
 def psnr_study(
@@ -98,23 +99,20 @@ def psnr_study(
         pixel_indices = np.sort(rng.choice(total_pixels, size=count, replace=False))
 
         reference = scene.reference_pixels(camera_index, pixel_indices)
-
-        vqrf_field = VQRFField(bundle.vqrf_model, scene.mlp)
-        vqrf_pixels = render_pixel_subset(vqrf_field, bundle, pixel_indices, camera_index)
-
-        masked_field = SpNeRFField(
-            bundle.spnerf_model, scene.mlp, use_bitmap_masking=True
+        request = RenderRequest(
+            camera_indices=(camera_index,), pixel_indices=pixel_indices
         )
-        masked_pixels = render_pixel_subset(masked_field, bundle, pixel_indices, camera_index)
+
+        def subset(pipeline: str, use_bitmap_masking: Optional[bool] = None) -> np.ndarray:
+            field = field_from_bundle(bundle, pipeline, use_bitmap_masking)
+            return RenderEngine(field).render(request).image
+
+        vqrf_pixels = subset("vqrf")
+        masked_pixels = subset("spnerf", use_bitmap_masking=True)
 
         unmasked_value: Optional[float] = None
         if include_unmasked:
-            unmasked_field = SpNeRFField(
-                bundle.spnerf_model, scene.mlp, use_bitmap_masking=False
-            )
-            unmasked_pixels = render_pixel_subset(
-                unmasked_field, bundle, pixel_indices, camera_index
-            )
+            unmasked_pixels = subset("spnerf-nomask")
             unmasked_value = _capped_psnr(unmasked_pixels, reference)
 
         results.append(

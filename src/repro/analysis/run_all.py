@@ -19,18 +19,14 @@ from repro.analysis.comparison import (
     area_power_breakdowns,
     compare_against_edge_platforms,
     comparison_table,
+    workloads_from_bundles,
 )
 from repro.analysis.memory import average_reduction, memory_reduction_study
 from repro.analysis.profiling import platform_table, runtime_distribution_study, sparsity_study
 from repro.analysis.quality import psnr_study
 from repro.analysis.reporting import format_table
 from repro.analysis.sweep import hash_table_size_sweep, subgrid_sweep
-from repro.core.config import SpNeRFConfig
-from repro.core.pipeline import SpNeRFBundle, build_spnerf_from_scene
-from repro.datasets.scenes import SCENE_NAMES
-from repro.datasets.synthetic import load_scene
-from repro.hardware.accelerator import SpNeRFAccelerator
-from repro.hardware.workload import workload_from_render
+from repro.api import SCENE_NAMES, SpNeRFAccelerator, SpNeRFBundle, build_bundle, load_scene
 
 __all__ = ["run_evaluation", "main"]
 
@@ -43,7 +39,7 @@ def _build_bundles(resolution: int, image_size: int, verbose: bool) -> List[SpNe
         scene = load_scene(
             name, resolution=resolution, image_size=image_size, num_views=2, num_samples=96
         )
-        bundles.append(build_spnerf_from_scene(scene, SpNeRFConfig(), kmeans_iterations=4))
+        bundles.append(build_bundle(scene, kmeans_iterations=4))
     return bundles
 
 
@@ -59,7 +55,7 @@ def run_evaluation(
 
     bundles = _build_bundles(resolution, image_size, verbose)
     scenes = [b.scene for b in bundles]
-    workloads = [workload_from_render(b, probe_resolution=48) for b in bundles]
+    workloads = workloads_from_bundles(bundles, probe_resolution=48)
     accelerator = SpNeRFAccelerator()
 
     # Table I ----------------------------------------------------------------

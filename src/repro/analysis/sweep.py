@@ -16,9 +16,10 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.analysis.quality import PSNR_CAP_DB, render_pixel_subset
+from repro.analysis.quality import PSNR_CAP_DB
+from repro.api import RenderEngine, build_bundle, field_from_bundle
 from repro.core.config import SpNeRFConfig
-from repro.core.pipeline import SpNeRFBundle, SpNeRFField, build_spnerf_from_scene
+from repro.core.pipeline import SpNeRFBundle
 from repro.nerf.metrics import psnr
 
 __all__ = [
@@ -49,11 +50,9 @@ def sweep_point(
     SpNeRF memory footprint — the three quantities the Fig. 7 discussion ties
     together.
     """
-    rebuilt = build_spnerf_from_scene(
-        bundle.scene, config, vqrf_model=bundle.vqrf_model
-    )
-    field = SpNeRFField(rebuilt.spnerf_model, bundle.scene.mlp, use_bitmap_masking=True)
-    pixels = render_pixel_subset(field, bundle, pixel_indices, camera_index)
+    rebuilt = build_bundle(bundle.scene, config, vqrf_model=bundle.vqrf_model)
+    field = field_from_bundle(rebuilt, "spnerf", use_bitmap_masking=True)
+    pixels = RenderEngine(field).render_pixels(pixel_indices, camera_index)
     value = min(psnr(pixels, reference), PSNR_CAP_DB)
     return {
         "num_subgrids": float(config.num_subgrids),

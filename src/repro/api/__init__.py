@@ -1,0 +1,100 @@
+"""Unified facade over the SpNeRF reproduction.
+
+Everything a caller needs to build and render radiance fields lives here:
+
+>>> from repro.api import RenderEngine, build_field, load_scene
+>>> scene = load_scene("lego", resolution=64, image_size=64)
+>>> field = build_field("spnerf", scene)           # or "dense", "vqrf", ...
+>>> result = RenderEngine(field).render(camera_indices=(0,),
+...                                     compare_to_reference=True)
+>>> result.image.shape, result.mean_psnr, result.memory["total"]
+
+Three layers:
+
+* **Protocol** — :class:`RadianceField`: ``query`` + ``stats`` +
+  ``memory_report``; every pipeline's field satisfies it.
+* **Registry** — :func:`build_field` / :func:`register_pipeline` with the
+  built-in ``"dense"``, ``"vqrf"``, ``"spnerf"`` and ``"spnerf-nomask"``
+  pipelines, a layered :class:`PipelineConfig`, and a per-scene cache of
+  compressed VQRF models so sweeps never re-run k-means.
+* **Engine** — :class:`RenderEngine` with :class:`RenderRequest` /
+  :class:`RenderResult`: chunked, multi-view rendering with aggregated
+  stats, PSNR, timing, memory and hardware estimates in one object.
+
+For convenience the facade also re-exports the scene loaders, image metrics
+and the hardware entry points examples typically pair with rendering.
+"""
+
+from repro.api.config import PipelineConfig
+from repro.api.engine import RenderEngine, RenderRequest, RenderResult
+from repro.api.protocol import RadianceField
+from repro.api.registry import (
+    PipelineSpec,
+    UnknownPipelineError,
+    available_pipelines,
+    build_bundle,
+    build_field,
+    clear_vqrf_cache,
+    compress_with_cache,
+    field_from_bundle,
+    pipeline_descriptions,
+    register_pipeline,
+    reset_vqrf_cache_stats,
+    unregister_pipeline,
+    vqrf_cache_stats,
+)
+
+# Convenience re-exports so callers can drive the full flow from one import.
+from repro.core.config import SpNeRFConfig
+from repro.core.pipeline import SpNeRFBundle
+from repro.datasets.scenes import SCENE_NAMES
+from repro.datasets.synthetic import SyntheticScene, load_all_scenes, load_scene
+from repro.hardware.accelerator import SpNeRFAccelerator
+from repro.hardware.baselines import GPUPlatformModel
+from repro.hardware.workload import FrameWorkload, workload_from_render, workload_from_scene
+from repro.nerf.metrics import mse, psnr, ssim
+from repro.nerf.renderer import RenderConfig, RenderStats
+from repro.nerf.training import train_decoder_mlp
+
+__all__ = [
+    # protocol
+    "RadianceField",
+    # configuration
+    "PipelineConfig",
+    "SpNeRFConfig",
+    "RenderConfig",
+    # registry
+    "PipelineSpec",
+    "UnknownPipelineError",
+    "register_pipeline",
+    "unregister_pipeline",
+    "available_pipelines",
+    "pipeline_descriptions",
+    "build_field",
+    "build_bundle",
+    "field_from_bundle",
+    "compress_with_cache",
+    "clear_vqrf_cache",
+    "vqrf_cache_stats",
+    "reset_vqrf_cache_stats",
+    # engine
+    "RenderEngine",
+    "RenderRequest",
+    "RenderResult",
+    "RenderStats",
+    # convenience re-exports
+    "SpNeRFBundle",
+    "SyntheticScene",
+    "SCENE_NAMES",
+    "load_scene",
+    "load_all_scenes",
+    "SpNeRFAccelerator",
+    "GPUPlatformModel",
+    "FrameWorkload",
+    "workload_from_render",
+    "workload_from_scene",
+    "mse",
+    "psnr",
+    "ssim",
+    "train_decoder_mlp",
+]

@@ -1,0 +1,113 @@
+"""Pipeline-level configuration.
+
+:class:`PipelineConfig` layers the end-to-end pipeline knobs — VQRF
+compression hyper-parameters and decoder switches — on top of the algorithm's
+:class:`~repro.core.config.SpNeRFConfig`.  One object therefore describes
+everything :func:`repro.api.build_field` needs to turn a scene into a
+renderable field, and its :meth:`with_updates` routes overrides to the right
+layer so sweeps can write ``config.with_updates(num_subgrids=32)`` without
+caring which dataclass owns the knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Tuple, Union
+
+from repro.core.config import SpNeRFConfig
+
+__all__ = ["PipelineConfig"]
+
+#: Field names owned by :class:`SpNeRFConfig` (computed once for routing).
+_SPNERF_FIELDS = frozenset(f.name for f in fields(SpNeRFConfig))
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Everything needed to build any registered pipeline on one scene.
+
+    Parameters
+    ----------
+    spnerf:
+        The algorithm configuration (subgrid count, hash-table size, ...).
+    prune_fraction, keep_fraction, kmeans_iterations, seed:
+        VQRF compression hyper-parameters.  Together with the codebook size
+        they form the :meth:`compression_key` the VQRF-model cache is keyed
+        on, so configurations that only differ in SpNeRF knobs share one
+        compressed model.
+    cache_vqrf:
+        Whether :func:`repro.api.build_bundle` may reuse a cached compressed
+        model for the same scene and compression key.
+
+    The bitmap-masking switch lives on the nested ``spnerf`` config
+    (``use_bitmap_masking``) and routes there through :meth:`with_updates`
+    like every other algorithm knob — there is deliberately no second
+    pipeline-level copy of it.
+    """
+
+    spnerf: SpNeRFConfig = field(default_factory=SpNeRFConfig)
+    prune_fraction: float = 0.05
+    keep_fraction: float = 0.30
+    kmeans_iterations: int = 6
+    seed: int = 0
+    cache_vqrf: bool = True
+
+    # ------------------------------------------------------------------
+    def compression_key(self) -> Tuple:
+        """Hashable key identifying the VQRF compression this config implies."""
+        return (
+            self.spnerf.codebook_size,
+            self.prune_fraction,
+            self.keep_fraction,
+            self.kmeans_iterations,
+            self.seed,
+        )
+
+    # ------------------------------------------------------------------
+    def with_updates(self, **kwargs) -> "PipelineConfig":
+        """Copy with selected fields replaced, routing by field ownership.
+
+        Keyword names belonging to :class:`SpNeRFConfig` (``num_subgrids``,
+        ``hash_table_size``, ...) are applied to the nested ``spnerf`` config;
+        names belonging to :class:`PipelineConfig` are applied directly.
+        """
+        spnerf_updates = {k: v for k, v in kwargs.items() if k in _SPNERF_FIELDS}
+        own_updates = {k: v for k, v in kwargs.items() if k not in _SPNERF_FIELDS}
+        unknown = [k for k in own_updates if k not in _OWN_FIELDS]
+        if unknown:
+            raise TypeError(
+                f"unknown pipeline configuration field(s) {unknown}; valid fields are "
+                f"{sorted(_OWN_FIELDS | _SPNERF_FIELDS)}"
+            )
+        config = self
+        if spnerf_updates:
+            config = replace(config, spnerf=config.spnerf.with_updates(**spnerf_updates))
+        if own_updates:
+            config = replace(config, **own_updates)
+        return config
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def coerce(
+        cls,
+        config: Union["PipelineConfig", SpNeRFConfig, None] = None,
+        **overrides,
+    ) -> "PipelineConfig":
+        """Normalise the ``config`` argument accepted across the API.
+
+        ``None`` means defaults, a bare :class:`SpNeRFConfig` is wrapped, and
+        a :class:`PipelineConfig` passes through; ``overrides`` are then
+        applied via :meth:`with_updates`.
+        """
+        if config is None:
+            config = cls()
+        elif isinstance(config, SpNeRFConfig):
+            config = cls(spnerf=config)
+        elif not isinstance(config, cls):
+            raise TypeError(
+                f"config must be PipelineConfig, SpNeRFConfig or None, got {type(config)!r}"
+            )
+        return config.with_updates(**overrides) if overrides else config
+
+
+_OWN_FIELDS = frozenset(f.name for f in fields(PipelineConfig))

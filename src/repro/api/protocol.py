@@ -1,0 +1,54 @@
+"""The public :class:`RadianceField` protocol.
+
+Every renderable field in the repository — the dense reference field
+(:class:`~repro.nerf.renderer.DenseGridField`), the VQRF restore field
+(:class:`~repro.vqrf.model.VQRFField`) and the SpNeRF online-decoding field
+(:class:`~repro.core.pipeline.SpNeRFField`) — satisfies this protocol, and
+:class:`~repro.api.engine.RenderEngine` renders anything that does.
+
+Compared to the minimal ``query``-only protocol the low-level renderer uses
+(:class:`repro.nerf.renderer.RadianceField`), the API-level protocol also
+requires workload introspection (``stats``) and memory accounting
+(``memory_report``), which is what lets the engine attach hardware estimates
+and memory footprints to every :class:`~repro.api.engine.RenderResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+from repro.nerf.renderer import RenderStats
+
+__all__ = ["RadianceField"]
+
+
+@runtime_checkable
+class RadianceField(Protocol):
+    """Anything the :class:`~repro.api.engine.RenderEngine` can render.
+
+    Implementations must be queryable for per-sample density/RGB, expose the
+    workload counters of their most recent query, and account for their
+    rendering-time memory footprint.
+    """
+
+    def query(self, points: np.ndarray, view_dirs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Evaluate the field at world-space ``points`` with unit ``view_dirs``.
+
+        Returns raw density ``(N,)`` and RGB ``(N, 3)``.
+        """
+        ...  # pragma: no cover - protocol definition
+
+    @property
+    def stats(self) -> RenderStats:
+        """Workload counters produced by the most recent :meth:`query`."""
+        ...  # pragma: no cover - protocol definition
+
+    def memory_report(self) -> Dict[str, int]:
+        """Byte-level breakdown of the rendering-time memory footprint.
+
+        Always contains a ``"total"`` key; the remaining keys name the
+        pipeline-specific components (hash tables, restored grid, ...).
+        """
+        ...  # pragma: no cover - protocol definition

@@ -1,0 +1,311 @@
+"""Pipeline registry and cached builders.
+
+The registry maps a pipeline name to a builder turning ``(scene, config)``
+into an object satisfying the :class:`~repro.api.protocol.RadianceField`
+protocol.  Four pipelines ship built in:
+
+* ``"dense"`` — the dense-grid reference field (ground truth).
+* ``"vqrf"`` — VQRF compression rendered through the restore-the-full-grid
+  baseline flow.
+* ``"spnerf"`` — SpNeRF online hash decoding with bitmap masking.
+* ``"spnerf-nomask"`` — SpNeRF with masking disabled (the Fig. 6(b) ablation).
+
+New backends register themselves with :func:`register_pipeline` and become
+available to every example, analysis driver and benchmark through
+:func:`build_field` — no call sites change.
+
+Compressed :class:`~repro.vqrf.model.VQRFModel`\\ s are cached per scene and
+per compression key, so design-space sweeps that only vary SpNeRF parameters
+(subgrid count, hash-table size) never re-run k-means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.api.config import PipelineConfig
+from repro.core.config import SpNeRFConfig
+from repro.core.pipeline import SpNeRFBundle, SpNeRFField, build_spnerf_from_scene
+from repro.datasets.synthetic import SyntheticScene
+from repro.nerf.renderer import DenseGridField
+from repro.vqrf.model import VQRFField, VQRFModel, compress_scene
+
+__all__ = [
+    "PipelineSpec",
+    "UnknownPipelineError",
+    "register_pipeline",
+    "unregister_pipeline",
+    "available_pipelines",
+    "pipeline_descriptions",
+    "build_field",
+    "build_bundle",
+    "field_from_bundle",
+    "compress_with_cache",
+    "clear_vqrf_cache",
+    "vqrf_cache_stats",
+    "reset_vqrf_cache_stats",
+]
+
+#: Attribute under which the per-scene VQRF-model cache is stored.
+_SCENE_CACHE_ATTR = "_api_vqrf_cache"
+
+
+class UnknownPipelineError(KeyError):
+    """Raised when :func:`build_field` is asked for an unregistered pipeline."""
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """One registered pipeline: a name, a builder and a description."""
+
+    name: str
+    builder: Callable[[SyntheticScene, PipelineConfig], object]
+    description: str = ""
+
+
+_REGISTRY: Dict[str, PipelineSpec] = {}
+
+
+def register_pipeline(
+    name: str, *, description: str = "", overwrite: bool = False
+) -> Callable[[Callable], Callable]:
+    """Decorator registering a ``(scene, config) -> field`` builder.
+
+    Example
+    -------
+    >>> @register_pipeline("my-backend", description="...")
+    ... def build_my_backend(scene, config):
+    ...     return MyField(scene, config)
+    """
+
+    def decorator(builder: Callable) -> Callable:
+        if name in _REGISTRY and not overwrite:
+            raise ValueError(
+                f"pipeline {name!r} is already registered; pass overwrite=True to replace it"
+            )
+        _REGISTRY[name] = PipelineSpec(name=name, builder=builder, description=description)
+        return builder
+
+    return decorator
+
+
+def unregister_pipeline(name: str) -> None:
+    """Remove a registered pipeline (mainly for tests and plugins)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_pipelines() -> Tuple[str, ...]:
+    """Names of all registered pipelines, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def pipeline_descriptions() -> Dict[str, str]:
+    """Mapping of pipeline name to its one-line description."""
+    return {name: spec.description for name, spec in sorted(_REGISTRY.items())}
+
+
+def _get_pipeline(name: str) -> PipelineSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownPipelineError(
+            f"unknown pipeline {name!r}; available: {', '.join(available_pipelines())}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# VQRF-model cache
+# ----------------------------------------------------------------------
+
+@dataclass
+class VQRFCacheStats:
+    """Hit/miss counters of the VQRF-model cache (observability + tests)."""
+
+    hits: int = 0
+    misses: int = 0
+
+
+_CACHE_STATS = VQRFCacheStats()
+
+
+def vqrf_cache_stats() -> VQRFCacheStats:
+    """Process-wide hit/miss counters of the VQRF-model cache."""
+    return _CACHE_STATS
+
+
+def reset_vqrf_cache_stats() -> None:
+    _CACHE_STATS.hits = 0
+    _CACHE_STATS.misses = 0
+
+
+def clear_vqrf_cache(scene: SyntheticScene) -> None:
+    """Drop the compressed models cached on one scene."""
+    scene.__dict__.pop(_SCENE_CACHE_ATTR, None)
+
+
+def compress_with_cache(scene: SyntheticScene, config: PipelineConfig) -> VQRFModel:
+    """VQRF-compress ``scene``, reusing a cached model when possible.
+
+    The cache lives on the scene object itself (so its lifetime matches the
+    scene's) and is keyed by :meth:`PipelineConfig.compression_key`, i.e. by
+    every parameter that influences compression — configurations that only
+    differ in SpNeRF knobs share one k-means run.
+    """
+    key = config.compression_key()
+    cache: Dict[Tuple, VQRFModel] = scene.__dict__.setdefault(_SCENE_CACHE_ATTR, {})
+    if config.cache_vqrf and key in cache:
+        _CACHE_STATS.hits += 1
+        return cache[key]
+    _CACHE_STATS.misses += 1
+    model = compress_scene(
+        scene.sparse_grid,
+        codebook_size=config.spnerf.codebook_size,
+        prune_fraction=config.prune_fraction,
+        keep_fraction=config.keep_fraction,
+        kmeans_iterations=config.kmeans_iterations,
+        seed=config.seed,
+    )
+    if config.cache_vqrf:
+        cache[key] = model
+    return model
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+
+def build_bundle(
+    scene: SyntheticScene,
+    config: Union[PipelineConfig, SpNeRFConfig, None] = None,
+    *,
+    vqrf_model: Optional[VQRFModel] = None,
+    **overrides,
+) -> SpNeRFBundle:
+    """Scene -> (cached) VQRF compression -> SpNeRF preprocessing.
+
+    Parameters
+    ----------
+    scene:
+        A loaded :class:`~repro.datasets.synthetic.SyntheticScene`.
+    config:
+        ``None`` (defaults), a :class:`~repro.core.config.SpNeRFConfig` or a
+        full :class:`PipelineConfig`.
+    vqrf_model:
+        Explicitly reuse an already-compressed model, bypassing the cache
+        (sweeps that received a bundle built with unknown compression
+        parameters pass the bundle's own model here).
+    overrides:
+        Field overrides routed by :meth:`PipelineConfig.with_updates`.
+    """
+    cfg = PipelineConfig.coerce(config, **overrides)
+    if vqrf_model is None:
+        vqrf_model = compress_with_cache(scene, cfg)
+    return build_spnerf_from_scene(scene, cfg.spnerf, vqrf_model=vqrf_model)
+
+
+def _make_dense_field(scene: SyntheticScene) -> DenseGridField:
+    return DenseGridField(
+        scene.grid, scene.mlp, num_view_frequencies=scene.render_config.num_view_frequencies
+    )
+
+
+def _make_vqrf_field(scene: SyntheticScene, model: VQRFModel) -> VQRFField:
+    return VQRFField(
+        model, scene.mlp, num_view_frequencies=scene.render_config.num_view_frequencies
+    )
+
+
+def field_from_bundle(
+    bundle: SpNeRFBundle,
+    pipeline: str = "spnerf",
+    use_bitmap_masking: Optional[bool] = None,
+):
+    """Construct a pipeline's field from an existing bundle, no recompute.
+
+    Analysis drivers that already hold a :class:`SpNeRFBundle` (one VQRF
+    compression + one preprocessing of a scene) use this to obtain any of the
+    built-in fields without re-running compression or preprocessing.
+    """
+    scene = bundle.scene
+    if pipeline == "dense":
+        field = _make_dense_field(scene)
+    elif pipeline == "vqrf":
+        field = _make_vqrf_field(scene, bundle.vqrf_model)
+    elif pipeline in ("spnerf", "spnerf-nomask"):
+        if pipeline == "spnerf-nomask" and use_bitmap_masking:
+            raise ValueError(
+                "pipeline 'spnerf-nomask' renders with masking disabled; "
+                "got use_bitmap_masking=True (use pipeline 'spnerf' instead)"
+            )
+        masking = False if pipeline == "spnerf-nomask" else use_bitmap_masking
+        field = SpNeRFField(
+            bundle.spnerf_model,
+            scene.mlp,
+            num_view_frequencies=scene.render_config.num_view_frequencies,
+            use_bitmap_masking=masking,
+        )
+        field.bundle = bundle
+    else:
+        raise UnknownPipelineError(
+            f"field_from_bundle supports the built-in pipelines "
+            f"('dense', 'vqrf', 'spnerf', 'spnerf-nomask'); got {pipeline!r}. "
+            "Build custom pipelines with build_field() instead."
+        )
+    field.pipeline_name = pipeline
+    field.scene = scene
+    return field
+
+
+def build_field(
+    name: str,
+    scene: SyntheticScene,
+    config: Union[PipelineConfig, SpNeRFConfig, None] = None,
+    **overrides,
+):
+    """Build the named pipeline's radiance field for one scene.
+
+    This is the facade every caller goes through: examples, analysis drivers
+    and benchmarks construct fields only here, so new backends and caching
+    strategies slot in behind one function.  The returned object satisfies the
+    :class:`~repro.api.protocol.RadianceField` protocol and carries
+    ``pipeline_name`` / ``scene`` attributes (plus ``bundle`` for the SpNeRF
+    pipelines) as provenance.
+    """
+    cfg = PipelineConfig.coerce(config, **overrides)
+    spec = _get_pipeline(name)
+    field = spec.builder(scene, cfg)
+    if getattr(field, "pipeline_name", None) is None:
+        field.pipeline_name = name
+    if getattr(field, "scene", None) is None:
+        field.scene = scene
+    return field
+
+
+# ----------------------------------------------------------------------
+# Built-in pipelines
+# ----------------------------------------------------------------------
+
+@register_pipeline("dense", description="dense voxel-grid reference field (ground truth)")
+def _build_dense(scene: SyntheticScene, config: PipelineConfig):
+    return _make_dense_field(scene)
+
+
+@register_pipeline("vqrf", description="VQRF compression, restore-the-full-grid render flow")
+def _build_vqrf(scene: SyntheticScene, config: PipelineConfig):
+    return _make_vqrf_field(scene, compress_with_cache(scene, config))
+
+
+@register_pipeline("spnerf", description="SpNeRF online hash decoding with bitmap masking")
+def _build_spnerf(scene: SyntheticScene, config: PipelineConfig):
+    bundle = build_bundle(scene, config)
+    # Masking defers to config.spnerf.use_bitmap_masking (True by default).
+    return field_from_bundle(bundle, "spnerf")
+
+
+@register_pipeline("spnerf-nomask", description="SpNeRF without bitmap masking (ablation)")
+def _build_spnerf_nomask(scene: SyntheticScene, config: PipelineConfig):
+    # Masking is forced off at the bundle level too, so bundle.field (used by
+    # workload measurement) matches the field this pipeline returns.
+    bundle = build_bundle(scene, config.with_updates(use_bitmap_masking=False))
+    return field_from_bundle(bundle, "spnerf-nomask")

@@ -7,15 +7,17 @@ bitmap (no dense grid ever exists), trilinearly interpolated (Eq. 2 weights),
 and pushed through the 39-wide decoder MLP.  Volume rendering is shared with
 the other pipelines via :class:`~repro.nerf.renderer.VolumetricRenderer`.
 
-:func:`build_spnerf_from_scene` is the convenience used by examples, analysis
-drivers and benchmarks: scene -> VQRF compression -> SpNeRF preprocessing ->
-renderable field.
+:func:`build_spnerf_from_scene` is the underlying builder: scene -> VQRF
+compression -> SpNeRF preprocessing -> renderable field.  New code should go
+through the :mod:`repro.api` facade instead (``build_field("spnerf", scene)``
+or :func:`repro.api.build_bundle`), which adds pipeline registration and
+VQRF-model caching on top of this function.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -59,7 +61,11 @@ class SpNeRFField:
         rgb = np.zeros((n, 3), dtype=np.float64)
         inside = spec.contains(points)
         if not np.any(inside):
-            self.last_stats = RenderStats(num_samples=n)
+            # Fresh counters on the early-return path too: the active-sample
+            # and vertex-lookup counts must read 0, not the previous query's.
+            self.last_stats = RenderStats(
+                num_samples=n, num_active_samples=0, num_vertex_lookups=0
+            )
             return density, rgb
 
         grid_coords = spec.world_to_grid(points[inside])
@@ -96,6 +102,16 @@ class SpNeRFField:
         )
         return density, rgb
 
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> RenderStats:
+        """Workload counters from the most recent :meth:`query`."""
+        return self.last_stats
+
+    def memory_report(self) -> Dict[str, int]:
+        """Rendering-time memory: hash tables + bitmap + codebook + true grid."""
+        return self.model.memory_breakdown()
+
 
 @dataclass
 class SpNeRFBundle:
@@ -109,7 +125,7 @@ class SpNeRFBundle:
 
 def build_spnerf_from_scene(
     scene: SyntheticScene,
-    config: SpNeRFConfig = SpNeRFConfig(),
+    config: Optional[SpNeRFConfig] = None,
     prune_fraction: float = 0.05,
     keep_fraction: float = 0.30,
     kmeans_iterations: int = 6,
@@ -124,7 +140,8 @@ def build_spnerf_from_scene(
     scene:
         A loaded :class:`~repro.datasets.synthetic.SyntheticScene`.
     config:
-        SpNeRF hyper-parameters (subgrid count, table size, ...).
+        SpNeRF hyper-parameters (subgrid count, table size, ...); ``None``
+        means the paper defaults (a fresh :class:`SpNeRFConfig`).
     prune_fraction, keep_fraction, kmeans_iterations, seed:
         Forwarded to VQRF compression (ignored when ``vqrf_model`` is given).
     use_bitmap_masking:
@@ -133,6 +150,8 @@ def build_spnerf_from_scene(
         Reuse an already-compressed model (avoids re-running k-means in
         sweeps that only vary SpNeRF parameters).
     """
+    if config is None:
+        config = SpNeRFConfig()
     if vqrf_model is None:
         vqrf_model = compress_scene(
             scene.sparse_grid,

@@ -18,7 +18,7 @@ dense grid.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -97,8 +97,10 @@ class SpNeRFModel:
         return self.memory_breakdown()["total"]
 
 
-def preprocess(model: VQRFModel, config: SpNeRFConfig = SpNeRFConfig()) -> SpNeRFModel:
+def preprocess(model: VQRFModel, config: Optional[SpNeRFConfig] = None) -> SpNeRFModel:
     """Run SpNeRF preprocessing on a VQRF-compressed scene.
+
+    ``config=None`` means the paper defaults (a fresh :class:`SpNeRFConfig`).
 
     Raises
     ------
@@ -106,6 +108,8 @@ def preprocess(model: VQRFModel, config: SpNeRFConfig = SpNeRFConfig()) -> SpNeR
         If the scene's true-voxel count exceeds the capacity of the unified
         address space (the paper's 18-bit budget).
     """
+    if config is None:
+        config = SpNeRFConfig()
     if model.spec.feature_dim != config.feature_dim:
         raise ValueError(
             f"feature_dim mismatch: model has {model.spec.feature_dim}, "

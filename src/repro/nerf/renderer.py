@@ -11,7 +11,7 @@ compositing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Protocol, Tuple
+from typing import Dict, Optional, Protocol, Tuple
 
 import numpy as np
 
@@ -30,6 +30,10 @@ class RadianceField(Protocol):
 
     ``query`` receives world-space sample points and matching unit view
     directions and returns per-sample raw density ``(N,)`` and RGB ``(N, 3)``.
+
+    This is the minimal contract the low-level renderer needs; the public API
+    (:class:`repro.api.RadianceField`) extends it with ``stats`` and
+    ``memory_report`` for workload and memory introspection.
     """
 
     def query(self, points: np.ndarray, view_dirs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -96,6 +100,9 @@ class DenseGridField:
         density = np.zeros(n, dtype=np.float64)
         rgb = np.zeros((n, 3), dtype=np.float64)
         if not np.any(inside):
+            # Reset the counters too: a stale active-sample count from the
+            # previous query would otherwise be attributed to this one.
+            self.last_stats = RenderStats(num_samples=n)
             return density, rgb
 
         grid_coords = spec.world_to_grid(points[inside])
@@ -135,6 +142,21 @@ class DenseGridField:
             num_vertex_lookups=int(inside.sum()) * 8,
         )
         return density, rgb
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> RenderStats:
+        """Workload counters from the most recent :meth:`query`."""
+        return self.last_stats
+
+    def memory_report(self) -> Dict[str, int]:
+        """Rendering-time memory: the full dense density and feature grids."""
+        sizes = {
+            "density_grid": int(self.grid.density.nbytes),
+            "feature_grid": int(self.grid.features.nbytes),
+        }
+        sizes["total"] = sum(sizes.values())
+        return sizes
 
 
 class VolumetricRenderer:

@@ -177,6 +177,27 @@ class VQRFField:
         self.last_stats = self._dense_field.last_stats
         return density, rgb
 
+    # ------------------------------------------------------------------
+    @property
+    def stats(self):
+        """Workload counters from the most recent :meth:`query`."""
+        return self.last_stats
+
+    def memory_report(self) -> Dict[str, int]:
+        """Rendering-time memory footprint of the VQRF flow.
+
+        ``total`` is the restored dense grid — what must be resident while
+        rendering (the paper's Fig. 1 blow-up); the compressed (stored) model
+        size is included alongside for reference and is *not* part of the
+        total.
+        """
+        restored = int(self.model.restored_size_bytes())
+        return {
+            "restored_grid": restored,
+            "compressed_model": int(self.model.compressed_size_bytes()["total"]),
+            "total": restored,
+        }
+
 
 def compress_scene(
     sparse: SparseVoxelGrid,

@@ -10,7 +10,6 @@ everywhere without external dependencies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

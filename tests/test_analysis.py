@@ -1,6 +1,5 @@
 """Tests for the analysis/experiment drivers."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.comparison import (

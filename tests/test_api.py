@@ -1,0 +1,312 @@
+"""Tests for the :mod:`repro.api` facade.
+
+Covers the four acceptance surfaces of the API redesign:
+
+* registry round-trip — all built-in pipelines build, satisfy the
+  :class:`~repro.api.RadianceField` protocol, and custom pipelines can be
+  registered and unregistered;
+* engine equivalence — the :class:`~repro.api.RenderEngine` reproduces the
+  pre-facade hand-wired ``VolumetricRenderer`` flows to within 1e-9 PSNR,
+  and chunked rendering matches unchunked rendering;
+* VQRF-model caching — configurations differing only in SpNeRF knobs share
+  one compressed model, and sweeps never re-run k-means;
+* satellite fixes — ``None`` config defaults and stats reset on the
+  all-outside query path.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import subgrid_sweep
+from repro.api import (
+    PipelineConfig,
+    RadianceField,
+    RenderEngine,
+    RenderRequest,
+    SpNeRFConfig,
+    available_pipelines,
+    build_bundle,
+    build_field,
+    clear_vqrf_cache,
+    field_from_bundle,
+    load_scene,
+    register_pipeline,
+    reset_vqrf_cache_stats,
+    unregister_pipeline,
+    vqrf_cache_stats,
+)
+from repro.api.registry import UnknownPipelineError
+from repro.core.pipeline import SpNeRFField, build_spnerf_from_scene
+from repro.nerf.metrics import psnr
+from repro.nerf.renderer import DenseGridField, VolumetricRenderer
+from repro.vqrf.model import VQRFField
+
+BUILTIN_PIPELINES = ("dense", "vqrf", "spnerf", "spnerf-nomask")
+
+#: Mirrors tests/conftest.py's TEST_CONFIG plus the vqrf_model fixture's
+#: compression parameters, so api-built fields are numerically identical to
+#: the hand-wired fixtures.
+API_CONFIG = PipelineConfig(
+    spnerf=SpNeRFConfig(num_subgrids=8, hash_table_size=1024, codebook_size=64),
+    prune_fraction=0.05,
+    keep_fraction=0.3,
+    kmeans_iterations=3,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def pixel_indices(small_scene):
+    rng = np.random.default_rng(7)
+    total = small_scene.cameras[0].num_pixels
+    return np.sort(rng.choice(total, size=min(300, total), replace=False))
+
+
+# ----------------------------------------------------------------------
+# Registry round-trip
+# ----------------------------------------------------------------------
+
+def test_builtin_pipelines_registered():
+    assert set(BUILTIN_PIPELINES) <= set(available_pipelines())
+
+
+@pytest.mark.parametrize("name", BUILTIN_PIPELINES)
+def test_pipeline_builds_and_satisfies_protocol(name, small_scene):
+    field = build_field(name, small_scene, API_CONFIG)
+    assert isinstance(field, RadianceField)
+    assert field.pipeline_name == name
+    assert field.scene is small_scene
+
+    points = np.array([[0.0, 0.0, 0.0], [0.2, -0.1, 0.1]])
+    dirs = np.tile([0.0, 0.0, 1.0], (2, 1))
+    density, rgb = field.query(points, dirs)
+    assert density.shape == (2,)
+    assert rgb.shape == (2, 3)
+    assert field.stats.num_samples == 2
+
+    report = field.memory_report()
+    assert report["total"] > 0
+    assert all(isinstance(v, int) for v in report.values())
+
+
+def test_custom_pipeline_roundtrip(small_scene):
+    @register_pipeline("dense-copy", description="test-only alias of dense")
+    def _build(scene, config):
+        return DenseGridField(scene.grid, scene.mlp)
+
+    try:
+        field = build_field("dense-copy", small_scene)
+        assert isinstance(field, RadianceField)
+        assert field.pipeline_name == "dense-copy"
+        assert "dense-copy" in available_pipelines()
+    finally:
+        unregister_pipeline("dense-copy")
+    assert "dense-copy" not in available_pipelines()
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        @register_pipeline("dense")
+        def _clash(scene, config):  # pragma: no cover - never built
+            return None
+
+
+def test_unknown_pipeline_error_names_available(small_scene):
+    with pytest.raises(UnknownPipelineError, match="dense"):
+        build_field("no-such-pipeline", small_scene)
+
+
+def test_pipeline_config_routes_overrides():
+    cfg = API_CONFIG.with_updates(num_subgrids=4, kmeans_iterations=5)
+    assert cfg.spnerf.num_subgrids == 4
+    assert cfg.spnerf.hash_table_size == API_CONFIG.spnerf.hash_table_size
+    assert cfg.kmeans_iterations == 5
+    with pytest.raises(TypeError, match="unknown pipeline configuration"):
+        API_CONFIG.with_updates(not_a_field=1)
+
+
+def test_pipeline_config_coerce_wraps_spnerf_config():
+    cfg = PipelineConfig.coerce(SpNeRFConfig(num_subgrids=2), kmeans_iterations=1)
+    assert cfg.spnerf.num_subgrids == 2
+    assert cfg.kmeans_iterations == 1
+    with pytest.raises(TypeError, match="PipelineConfig"):
+        PipelineConfig.coerce(42)
+
+
+# ----------------------------------------------------------------------
+# Engine equivalence with the hand-wired flows
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", BUILTIN_PIPELINES)
+def test_engine_matches_handwired_flow(name, small_scene, spnerf_bundle, pixel_indices):
+    """Acceptance: every pipeline through RenderEngine is within 1e-9 PSNR
+    of the pre-refactor hand-wired VolumetricRenderer flow."""
+    scene = small_scene
+    if name == "dense":
+        hand_field = DenseGridField(scene.grid, scene.mlp)
+    elif name == "vqrf":
+        hand_field = VQRFField(spnerf_bundle.vqrf_model, scene.mlp)
+    else:
+        hand_field = SpNeRFField(
+            spnerf_bundle.spnerf_model,
+            scene.mlp,
+            use_bitmap_masking=(name == "spnerf"),
+        )
+    renderer = VolumetricRenderer(hand_field, scene.render_config)
+    hand_pixels = renderer.render_pixels(
+        scene.cameras[0], pixel_indices, scene.bbox_min, scene.bbox_max
+    )
+
+    api_field = build_field(name, scene, API_CONFIG)
+    result = RenderEngine(api_field).render(
+        RenderRequest(camera_indices=(0,), pixel_indices=pixel_indices)
+    )
+
+    reference = scene.reference_pixels(0, pixel_indices)
+    assert psnr(result.image, reference) == pytest.approx(
+        psnr(hand_pixels, reference), abs=1e-9
+    )
+    np.testing.assert_allclose(result.image, hand_pixels, atol=1e-12)
+
+
+def test_chunked_matches_unchunked(small_scene, pixel_indices):
+    field = build_field("dense", small_scene)
+    chunked = RenderEngine(field, chunk_size=37).render_pixels(pixel_indices)
+    unchunked = RenderEngine(field, chunk_size=10**9).render_pixels(pixel_indices)
+    # The float32 MLP hits different BLAS kernels at different batch sizes,
+    # so agreement is to fp noise, not bitwise.
+    np.testing.assert_allclose(chunked, unchunked, atol=1e-6)
+
+    full_chunked = RenderEngine(field, chunk_size=101).render_image(0)
+    full_unchunked = RenderEngine(field, chunk_size=10**9).render_image(0)
+    np.testing.assert_allclose(full_chunked, full_unchunked, atol=1e-6)
+
+
+def test_engine_multi_view_aggregates_stats(small_scene, pixel_indices):
+    field = build_field("dense", small_scene)
+    engine = RenderEngine(field)
+    single = engine.render(RenderRequest(camera_indices=(0,), pixel_indices=pixel_indices))
+    both = engine.render_views((0, 1), pixel_indices=pixel_indices)
+    assert len(both.images) == 2
+    assert both.stats.num_rays == 2 * single.stats.num_rays
+    assert both.stats.num_samples == 2 * single.stats.num_samples
+
+
+def test_render_result_carries_everything(small_scene, pixel_indices):
+    field = build_field("spnerf", small_scene, API_CONFIG)
+    result = RenderEngine(field).render(
+        RenderRequest(
+            camera_indices=(0,),
+            pixel_indices=pixel_indices,
+            compare_to_reference=True,
+            estimate_hardware=True,
+            hardware_probe_resolution=16,
+        )
+    )
+    assert result.pipeline == "spnerf"
+    assert result.psnr is not None and result.psnr[0] > 10.0
+    assert result.mean_psnr == pytest.approx(result.psnr[0])
+    assert result.render_time_s > 0.0
+    assert result.memory["total"] > 0
+    assert result.hardware is not None and result.hardware["fps"] > 0.0
+    summary = result.as_dict()
+    assert summary["num_views"] == 1
+    assert summary["memory_total_bytes"] == result.memory["total"]
+
+
+def test_hardware_estimate_reflects_masking_ablation(small_scene):
+    """The nomask pipeline's hardware numbers must measure the unmasked
+    field's workload, not the masked bundle field's."""
+    request = RenderRequest(
+        camera_indices=(0,),
+        pixel_indices=np.arange(10),
+        estimate_hardware=True,
+        hardware_probe_resolution=12,
+    )
+    masked = RenderEngine(build_field("spnerf", small_scene, API_CONFIG)).render(request)
+    nomask = RenderEngine(build_field("spnerf-nomask", small_scene, API_CONFIG)).render(request)
+    assert masked.hardware != nomask.hardware
+
+
+def test_engine_requires_a_scene(small_scene):
+    bare_field = DenseGridField(small_scene.grid, small_scene.mlp)
+    with pytest.raises(ValueError, match="scene"):
+        RenderEngine(bare_field)
+    engine = RenderEngine(bare_field, scene=small_scene)
+    assert engine.scene is small_scene
+
+
+# ----------------------------------------------------------------------
+# VQRF-model cache
+# ----------------------------------------------------------------------
+
+def test_vqrf_cache_shared_across_spnerf_configs():
+    scene = load_scene("chair", resolution=24, image_size=24, num_views=1, num_samples=16)
+    cfg = API_CONFIG.with_updates(codebook_size=32, kmeans_iterations=2)
+    reset_vqrf_cache_stats()
+
+    first = build_bundle(scene, cfg)
+    assert vqrf_cache_stats().misses == 1
+    second = build_bundle(scene, cfg.with_updates(num_subgrids=4, hash_table_size=512))
+    assert second.vqrf_model is first.vqrf_model
+    assert vqrf_cache_stats().hits == 1
+
+    # A change to a compression parameter is a different cache entry.
+    third = build_bundle(scene, cfg.with_updates(kmeans_iterations=1))
+    assert third.vqrf_model is not first.vqrf_model
+    assert vqrf_cache_stats().misses == 2
+
+    # cache_vqrf=False bypasses both lookup and insertion.
+    fourth = build_bundle(scene, cfg.with_updates(cache_vqrf=False))
+    assert fourth.vqrf_model is not first.vqrf_model
+
+    clear_vqrf_cache(scene)
+    build_bundle(scene, cfg)
+    assert vqrf_cache_stats().misses == 4
+
+
+def test_sweeps_never_rerun_kmeans(spnerf_bundle, monkeypatch):
+    """A design-space sweep over SpNeRF knobs must not touch compression."""
+
+    def boom(*args, **kwargs):  # pragma: no cover - failure path
+        raise AssertionError("sweep re-ran VQRF compression")
+
+    monkeypatch.setattr("repro.api.registry.compress_scene", boom)
+    rows = subgrid_sweep(
+        spnerf_bundle, subgrid_counts=(2, 4), hash_table_size=512, num_pixels=50
+    )
+    assert len(rows) == 2
+    assert all(row["psnr"] > 0.0 for row in rows)
+
+
+# ----------------------------------------------------------------------
+# Satellite fixes
+# ----------------------------------------------------------------------
+
+def test_build_spnerf_default_config_is_none():
+    signature = inspect.signature(build_spnerf_from_scene)
+    assert signature.parameters["config"].default is None
+
+
+def test_build_bundle_accepts_none_and_overrides(small_scene):
+    bundle = build_bundle(small_scene, None, codebook_size=64, kmeans_iterations=3)
+    assert bundle.spnerf_model.config.codebook_size == 64
+
+
+@pytest.mark.parametrize("pipeline", ["dense", "spnerf"])
+def test_stats_reset_on_all_outside_query(pipeline, small_scene, spnerf_bundle):
+    field = field_from_bundle(spnerf_bundle, pipeline)
+    inside_points = np.zeros((4, 3))
+    dirs = np.tile([0.0, 0.0, 1.0], (4, 1))
+    field.query(inside_points, dirs)
+    assert field.stats.num_vertex_lookups > 0  # something to go stale
+
+    outside_points = np.full((3, 3), 1e6)
+    field.query(outside_points, dirs[:3])
+    assert field.stats.num_samples == 3
+    assert field.stats.num_active_samples == 0
+    assert field.stats.num_vertex_lookups == 0

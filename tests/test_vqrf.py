@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.vqrf.importance import importance_from_density, importance_from_rays
-from repro.vqrf.model import VQRFField, compress_scene
+from repro.vqrf.model import VQRFField
 from repro.vqrf.pruning import prune_by_importance
 from repro.vqrf.vector_quantization import build_codebook
 
