@@ -38,6 +38,16 @@ class PipelineConfig:
     cache_vqrf:
         Whether :func:`repro.api.build_bundle` may reuse a cached compressed
         model for the same scene and compression key.
+    dedup_vertices:
+        Enable the SpNeRF fields' vertex-reuse decode cache (each unique
+        voxel vertex is decoded once per query and scattered to the samples
+        sharing it).  Rendered images are bit-identical either way; the
+        switch exists so benchmarks can time the un-cached path.
+    cull_empty_samples:
+        Skip the lattice/decode/interpolation for samples whose voxel cell is
+        entirely unoccupied in the bitmap.  Image-identical while bitmap
+        masking is on (and automatically ignored when it is off); disable it
+        when the decode diagnostics must count every cell, culled or not.
 
     The bitmap-masking switch lives on the nested ``spnerf`` config
     (``use_bitmap_masking``) and routes there through :meth:`with_updates`
@@ -51,6 +61,8 @@ class PipelineConfig:
     kmeans_iterations: int = 6
     seed: int = 0
     cache_vqrf: bool = True
+    dedup_vertices: bool = True
+    cull_empty_samples: bool = True
 
     # ------------------------------------------------------------------
     def compression_key(self) -> Tuple:

@@ -53,6 +53,11 @@ class RenderRequest:
         Probe-ray grid side used when measuring the hardware workload.
     chunk_size:
         Override the engine's ray chunk size for this request.
+    transmittance_threshold:
+        Override the render config's early-ray-termination threshold for this
+        request (``None`` keeps the config's value; 0.0 forces exhaustive
+        sampling, a small positive value such as 1e-3 enables termination —
+        see :meth:`~repro.nerf.renderer.RenderConfig.fast`).
     """
 
     camera_indices: Sequence[int] = (0,)
@@ -62,6 +67,7 @@ class RenderRequest:
     estimate_hardware: bool = False
     hardware_probe_resolution: int = 48
     chunk_size: Optional[int] = None
+    transmittance_threshold: Optional[float] = None
 
 
 @dataclass(eq=False)
@@ -122,6 +128,9 @@ class RenderResult:
             "num_rays": self.stats.num_rays,
             "num_samples": self.stats.num_samples,
             "num_active_samples": self.stats.num_active_samples,
+            "num_vertex_lookups": self.stats.num_vertex_lookups,
+            "num_unique_vertex_fetches": self.stats.num_unique_vertex_fetches,
+            "vertex_reuse_ratio": self.stats.vertex_reuse_ratio,
             "memory_total_bytes": int(self.memory.get("total", 0)),
         }
 
@@ -181,6 +190,8 @@ class RenderEngine:
         cfg = self.config
         if request.chunk_size is not None:
             cfg = replace(cfg, chunk_size=request.chunk_size)
+        if request.transmittance_threshold is not None:
+            cfg = replace(cfg, transmittance_threshold=request.transmittance_threshold)
         renderer = VolumetricRenderer(self.field, cfg)
 
         scene = self.scene

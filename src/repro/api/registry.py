@@ -220,12 +220,17 @@ def field_from_bundle(
     bundle: SpNeRFBundle,
     pipeline: str = "spnerf",
     use_bitmap_masking: Optional[bool] = None,
+    dedup_vertices: bool = True,
+    cull_empty_samples: bool = True,
 ):
     """Construct a pipeline's field from an existing bundle, no recompute.
 
     Analysis drivers that already hold a :class:`SpNeRFBundle` (one VQRF
     compression + one preprocessing of a scene) use this to obtain any of the
     built-in fields without re-running compression or preprocessing.
+    ``dedup_vertices`` / ``cull_empty_samples`` are the SpNeRF hot-path
+    switches (see :class:`~repro.api.config.PipelineConfig`); the dense and
+    VQRF pipelines ignore them.
     """
     scene = bundle.scene
     if pipeline == "dense":
@@ -244,6 +249,8 @@ def field_from_bundle(
             scene.mlp,
             num_view_frequencies=scene.render_config.num_view_frequencies,
             use_bitmap_masking=masking,
+            dedup_vertices=dedup_vertices,
+            cull_empty_samples=cull_empty_samples,
         )
         field.bundle = bundle
     else:
@@ -300,7 +307,12 @@ def _build_vqrf(scene: SyntheticScene, config: PipelineConfig):
 def _build_spnerf(scene: SyntheticScene, config: PipelineConfig):
     bundle = build_bundle(scene, config)
     # Masking defers to config.spnerf.use_bitmap_masking (True by default).
-    return field_from_bundle(bundle, "spnerf")
+    return field_from_bundle(
+        bundle,
+        "spnerf",
+        dedup_vertices=config.dedup_vertices,
+        cull_empty_samples=config.cull_empty_samples,
+    )
 
 
 @register_pipeline("spnerf-nomask", description="SpNeRF without bitmap masking (ablation)")
@@ -308,4 +320,9 @@ def _build_spnerf_nomask(scene: SyntheticScene, config: PipelineConfig):
     # Masking is forced off at the bundle level too, so bundle.field (used by
     # workload measurement) matches the field this pipeline returns.
     bundle = build_bundle(scene, config.with_updates(use_bitmap_masking=False))
-    return field_from_bundle(bundle, "spnerf-nomask")
+    return field_from_bundle(
+        bundle,
+        "spnerf-nomask",
+        dedup_vertices=config.dedup_vertices,
+        cull_empty_samples=config.cull_empty_samples,
+    )

@@ -12,9 +12,20 @@ For every voxel-grid vertex a ray sample touches, the decoder:
    actually empty — the bitmap-masking step that recovers the PSNR lost to
    hash collisions.
 
+Adjacent ray samples share most of their eight corners, so by default the
+decoder runs a **vertex-reuse cache**: the requested positions are
+deduplicated (packed-int64 keys + ``np.unique``), only the unique vertices go
+through the hash tables / bitmap / codebook, and the results are scattered
+back through the inverse index.  This is the software analogue of the
+accelerator's double-buffered on-chip reuse and typically cuts decode work
+4-8x.  Because decoding is a pure per-position function, the scattered
+results are bit-identical to the non-deduplicated path.
+
 The decoder also keeps :class:`DecodeStats`, which both the quality analysis
 (collision/masking rates) and the hardware model (lookup counts, buffer
-traffic) consume.
+traffic) consume.  All counters remain *logical* (per requested position,
+exactly as without deduplication); the physical fetch count is reported
+separately as ``num_unique_lookups``.
 """
 
 from __future__ import annotations
@@ -28,21 +39,63 @@ from repro.core.addressing import EMPTY_ENTRY
 from repro.core.hash_mapping import assign_subgrids, spatial_hash
 from repro.core.preprocessing import SpNeRFModel
 
-__all__ = ["DecodeStats", "OnlineDecoder"]
+__all__ = ["DecodeStats", "OnlineDecoder", "pack_vertex_keys"]
+
+#: Coordinate bias/width for packed-int64 vertex keys: each axis must fit in
+#: [-2^20, 2^20) so three axes pack into 63 bits without collision.
+_KEY_BIAS = 1 << 20
+_KEY_WIDTH = 1 << 21
+
+#: Grids up to this many vertices (256^3 = 80 MB of scratch) dedup through a
+#: dense slot table — three linear passes instead of an O(M log M) sort.
+_DENSE_DEDUP_LIMIT = 1 << 24
+
+
+def pack_vertex_keys(positions: np.ndarray) -> Optional[np.ndarray]:
+    """Pack ``(M, 3)`` int64 vertex coordinates into unique scalar keys.
+
+    Sorting / uniquing one int64 column is considerably faster than
+    ``np.unique(..., axis=0)`` on row triples.  Returns ``None`` when a
+    coordinate falls outside the packable range (callers then fall back to
+    row-wise uniquing); grid vertices are always in range.
+    """
+    if positions.size and (
+        positions.min() < -_KEY_BIAS or positions.max() >= _KEY_BIAS
+    ):
+        return None
+    shifted = positions + _KEY_BIAS
+    return (shifted[:, 0] * _KEY_WIDTH + shifted[:, 1]) * _KEY_WIDTH + shifted[:, 2]
 
 
 @dataclass
 class DecodeStats:
-    """Counters accumulated over vertex decodes."""
+    """Counters accumulated over vertex decodes.
+
+    All counters except ``num_unique_lookups`` are *logical*: they count per
+    requested position and are therefore independent of whether the
+    vertex-reuse cache deduplicated the physical work.  ``num_unique_lookups``
+    counts the positions actually pushed through hash/bitmap/codebook; the
+    ratio of the two is the vertex-reuse factor the accelerator's buffer
+    model exploits.
+    """
 
     num_lookups: int = 0
+    num_unique_lookups: int = 0
     num_empty_slots: int = 0
     num_masked_by_bitmap: int = 0
     num_codebook_hits: int = 0
     num_true_grid_hits: int = 0
 
+    @property
+    def reuse_ratio(self) -> float:
+        """Logical lookups per physical fetch (>= 1; 1.0 means no reuse)."""
+        if self.num_unique_lookups <= 0:
+            return 1.0
+        return self.num_lookups / self.num_unique_lookups
+
     def merge(self, other: "DecodeStats") -> None:
         self.num_lookups += other.num_lookups
+        self.num_unique_lookups += other.num_unique_lookups
         self.num_empty_slots += other.num_empty_slots
         self.num_masked_by_bitmap += other.num_masked_by_bitmap
         self.num_codebook_hits += other.num_codebook_hits
@@ -50,6 +103,7 @@ class DecodeStats:
 
     def reset(self) -> None:
         self.num_lookups = 0
+        self.num_unique_lookups = 0
         self.num_empty_slots = 0
         self.num_masked_by_bitmap = 0
         self.num_codebook_hits = 0
@@ -67,10 +121,15 @@ class OnlineDecoder:
     use_bitmap_masking:
         Override of the config's masking switch (None = follow the config);
         the Fig. 6(b) "before bitmap masking" series sets this to False.
+    deduplicate:
+        Enable the vertex-reuse cache (decode each unique position once and
+        scatter).  Output and logical stats are bit-identical either way;
+        disabling it only exists for benchmarking the un-cached path.
     """
 
     model: SpNeRFModel
     use_bitmap_masking: Optional[bool] = None
+    deduplicate: bool = True
     stats: DecodeStats = field(default_factory=DecodeStats)
 
     @property
@@ -78,6 +137,40 @@ class OnlineDecoder:
         if self.use_bitmap_masking is None:
             return self.model.config.use_bitmap_masking
         return bool(self.use_bitmap_masking)
+
+    # ------------------------------------------------------------------
+    def _dedup_dense(
+        self, positions: np.ndarray
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Dedup in-grid positions through a dense per-vertex slot table.
+
+        Marks each touched linear vertex index in a reusable boolean table,
+        enumerates the touched set, and reads the inverse mapping back through
+        an int32 slot table — three linear passes, no sort.  Returns ``None``
+        when a position is outside the grid or the grid is too large for the
+        scratch tables (callers fall back to sort-based uniquing).
+        """
+        r = self.model.spec.resolution
+        if r**3 > _DENSE_DEDUP_LIMIT:
+            return None
+        if positions.min() < 0 or positions.max() >= r:
+            return None
+        linear = (positions[:, 0] * r + positions[:, 1]) * r + positions[:, 2]
+        marks = getattr(self, "_dedup_marks", None)
+        if marks is None:
+            marks = np.zeros(r**3, dtype=bool)
+            self._dedup_marks = marks
+            self._dedup_slots = np.zeros(r**3, dtype=np.int32)
+        slots = self._dedup_slots
+        marks[linear] = True
+        unique_linear = np.flatnonzero(marks)
+        marks[unique_linear] = False  # leave the table clean for the next call
+        slots[unique_linear] = np.arange(unique_linear.size, dtype=np.int32)
+        inverse = slots[linear]
+        unique_positions = np.empty((unique_linear.size, 3), dtype=np.int64)
+        unique_positions[:, 0], rem = np.divmod(unique_linear, r * r)
+        unique_positions[:, 1], unique_positions[:, 2] = np.divmod(rem, r)
+        return unique_positions, inverse
 
     # ------------------------------------------------------------------
     def decode_vertices(self, positions: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -99,27 +192,97 @@ class OnlineDecoder:
         if positions.ndim != 2 or positions.shape[1] != 3:
             raise ValueError("positions must have shape (M, 3)")
         m = positions.shape[0]
+        if m == 0:
+            self.stats.merge(DecodeStats())
+            return (
+                np.zeros(0, dtype=np.float32),
+                np.zeros((0, self.model.feature_dim), dtype=np.float32),
+            )
+
+        inverse: Optional[np.ndarray] = None
+        unique_positions = positions
+        if self.deduplicate and m > 1:
+            deduped = self._dedup_dense(positions)
+            if deduped is not None:
+                unique_positions, inverse = deduped
+            else:
+                keys = pack_vertex_keys(positions)
+                if keys is not None:
+                    _, first, inverse = np.unique(
+                        keys, return_index=True, return_inverse=True
+                    )
+                    unique_positions = positions[first]
+                else:
+                    unique_positions, inverse = np.unique(
+                        positions, axis=0, return_inverse=True
+                    )
+                    inverse = inverse.reshape(-1)  # numpy 2.0 returns (M, 1) here
+            if unique_positions.shape[0] == m:
+                # Nothing shared; skip the scatter entirely.
+                inverse = None
+                unique_positions = positions
+
+        density, features, empty_slot, masked, codebook_hit, true_grid_hit = (
+            self._decode_unique(unique_positions)
+        )
+        if inverse is None:
+
+            def logical(flags: np.ndarray) -> int:
+                return int(np.count_nonzero(flags))
+
+        else:
+            density = density[inverse]
+            features = features[inverse]
+            # Logical counters must match the non-deduplicated path exactly:
+            # weight each unique vertex's flag by how many positions mapped
+            # onto it (cheaper than scattering the flag arrays).
+            counts = np.bincount(inverse, minlength=unique_positions.shape[0])
+
+            def logical(flags: np.ndarray) -> int:
+                return int(counts[flags].sum())
+
+        self.stats.merge(
+            DecodeStats(
+                num_lookups=m,
+                num_unique_lookups=int(unique_positions.shape[0]),
+                num_empty_slots=logical(empty_slot),
+                num_masked_by_bitmap=logical(masked),
+                num_codebook_hits=logical(codebook_hit),
+                num_true_grid_hits=logical(true_grid_hit),
+            )
+        )
+        return density, features
+
+    # ------------------------------------------------------------------
+    def _decode_unique(
+        self, positions: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Hash/bitmap/codebook decode of (already unique) positions.
+
+        Returns per-position values plus the boolean flags the stats are
+        computed from: (density, features, empty_slot, masked_by_bitmap,
+        codebook_hit, true_grid_hit).
+        """
+        m = positions.shape[0]
         cfg = self.model.config
         feature_dim = self.model.feature_dim
 
         density = np.zeros(m, dtype=np.float32)
         features = np.zeros((m, feature_dim), dtype=np.float32)
-        if m == 0:
-            return density, features
 
         subgrids = assign_subgrids(positions, self.model.spec.resolution, cfg.num_subgrids)
         hashes = spatial_hash(positions, cfg.hash_table_size).astype(np.int64)
         indices, table_density = self.model.hash_tables.lookup(subgrids, hashes)
 
         valid = indices != EMPTY_ENTRY
-        num_empty = int(np.count_nonzero(~valid))
+        empty_slot = ~valid
 
-        num_masked = 0
+        masked = np.zeros(m, dtype=bool)
         if self.masking_enabled:
             occupied = self.model.bitmap.lookup(positions)
             # Entries that the hash table would have returned but the bitmap
             # vetoes: these are exactly the collision errors being repaired.
-            num_masked = int(np.count_nonzero(valid & ~occupied))
+            masked = valid & ~occupied
             valid = valid & occupied
 
         is_codebook = np.zeros(m, dtype=bool)
@@ -139,16 +302,7 @@ class OnlineDecoder:
                 features[tg_mask] = int8_rows * np.float32(self.model.true_features.scale)
             density[valid] = table_density[valid]
 
-        self.stats.merge(
-            DecodeStats(
-                num_lookups=m,
-                num_empty_slots=num_empty,
-                num_masked_by_bitmap=num_masked,
-                num_codebook_hits=int(np.count_nonzero(valid & is_codebook)),
-                num_true_grid_hits=int(np.count_nonzero(valid & ~is_codebook)),
-            )
-        )
-        return density, features
+        return density, features, empty_slot, masked, valid & is_codebook, valid & ~is_codebook
 
     # ------------------------------------------------------------------
     def decode_error_report(self, reference) -> dict:

@@ -25,7 +25,7 @@ from repro.core.config import SpNeRFConfig
 from repro.core.decoding import OnlineDecoder
 from repro.core.preprocessing import SpNeRFModel, preprocess
 from repro.datasets.synthetic import SyntheticScene
-from repro.grid.interpolation import trilinear_vertices_and_weights
+from repro.grid.interpolation import trilinear_interpolate_multi
 from repro.nerf.encoding import positional_encoding
 from repro.nerf.mlp import MLP
 from repro.nerf.renderer import RenderStats
@@ -35,7 +35,31 @@ __all__ = ["SpNeRFField", "SpNeRFBundle", "build_spnerf_from_scene"]
 
 
 class SpNeRFField:
-    """Radiance field backed by SpNeRF online decoding."""
+    """Radiance field backed by SpNeRF online decoding.
+
+    Parameters
+    ----------
+    model, mlp, num_view_frequencies, use_bitmap_masking:
+        The preprocessed scene, decoder MLP and decoding switches.
+    dedup_vertices:
+        Enable the vertex-reuse decode cache: adjacent samples share most of
+        their eight corners, so each unique vertex is decoded once and the
+        result scattered.  Output-identical either way (decoding is a pure
+        per-vertex function); off only for benchmarking the un-cached path.
+    cull_empty_samples:
+        Skip the whole 8-corner lattice/decode/interpolation for samples
+        whose voxel cell is entirely unoccupied — one gather into a
+        precomputed per-cell occupancy table (the OR of each cell's eight
+        bitmap bits).  Output-identical when bitmap masking is enabled,
+        because masking decodes every unoccupied vertex to exactly zero; it
+        is automatically disabled when masking is off, where hash collisions
+        make empty cells decode non-zero.  Note that culled cells never reach
+        the decoder, so :class:`DecodeStats` no longer counts their
+        empty-slot/masking diagnostics; pass ``cull_empty_samples=False`` to
+        recover the exhaustive counters.
+    """
+
+    accepts_encoded_dirs = True
 
     def __init__(
         self,
@@ -43,15 +67,44 @@ class SpNeRFField:
         mlp: MLP,
         num_view_frequencies: int = 4,
         use_bitmap_masking: Optional[bool] = None,
+        dedup_vertices: bool = True,
+        cull_empty_samples: bool = True,
     ) -> None:
         self.model = model
         self.mlp = mlp
         self.num_view_frequencies = num_view_frequencies
-        self.decoder = OnlineDecoder(model, use_bitmap_masking=use_bitmap_masking)
+        self.decoder = OnlineDecoder(
+            model, use_bitmap_masking=use_bitmap_masking, deduplicate=dedup_vertices
+        )
+        self.cull_empty_samples = cull_empty_samples
+        self._cell_occupancy: Optional[np.ndarray] = None
         self.last_stats = RenderStats()
 
     # ------------------------------------------------------------------
-    def query(self, points: np.ndarray, view_dirs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    def _cell_occupancy_table(self) -> np.ndarray:
+        """Flat ``(R-1)^3`` bool table: cell has at least one occupied corner.
+
+        Derived once from the occupancy bitmap; the cull then costs a single
+        gather per sample instead of eight bitmap probes.
+        """
+        if self._cell_occupancy is None:
+            occupied = self.model.bitmap.to_dense()
+            cells = np.zeros_like(occupied[:-1, :-1, :-1])
+            for dx in (0, 1):
+                for dy in (0, 1):
+                    for dz in (0, 1):
+                        r = occupied.shape[0]
+                        cells |= occupied[dx : r - 1 + dx, dy : r - 1 + dy, dz : r - 1 + dz]
+            self._cell_occupancy = cells.reshape(-1)
+        return self._cell_occupancy
+
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        points: np.ndarray,
+        view_dirs: np.ndarray,
+        encoded_dirs: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
         points = np.asarray(points, dtype=np.float64)
         view_dirs = np.asarray(view_dirs, dtype=np.float64)
         spec = self.model.spec
@@ -69,16 +122,36 @@ class SpNeRFField:
             return density, rgb
 
         grid_coords = spec.world_to_grid(points[inside])
-        vertices, weights = trilinear_vertices_and_weights(grid_coords, spec.resolution)
-        flat_vertices = vertices.reshape(-1, 3)
+        k = grid_coords.shape[0]
 
-        vertex_density, vertex_features = self.decoder.decode_vertices(flat_vertices)
-        k = vertices.shape[0]
-        vertex_density = vertex_density.reshape(k, 8)
-        vertex_features = vertex_features.reshape(k, 8, -1)
+        # Coarse empty-space cull: a sample whose voxel cell holds no occupied
+        # corner would decode to exactly zero anyway (masking zeroes every
+        # unoccupied vertex), so the lattice, decode and interpolation are all
+        # skipped for it.  The cell index matches the interpolation's base
+        # vertex (floor clipped into the grid).
+        keep = None
+        if self.cull_empty_samples and self.decoder.masking_enabled:
+            res = spec.resolution
+            base = np.clip(np.floor(grid_coords).astype(np.int64), 0, res - 2)
+            cell = (base[:, 0] * (res - 1) + base[:, 1]) * (res - 1) + base[:, 2]
+            keep = np.flatnonzero(self._cell_occupancy_table()[cell])
+            if keep.size == k:
+                keep = None  # nothing culled; interpolate everything in place
 
-        interp_density = np.einsum("nk,nk->n", weights, vertex_density)
-        interp_features = np.einsum("nk,nkc->nc", weights, vertex_features)
+        unique_before = self.decoder.stats.num_unique_lookups
+        live_coords = grid_coords if keep is None else grid_coords[keep]
+        interp_density = np.zeros(k, dtype=np.float64)
+        interp_features = np.zeros((k, self.model.feature_dim), dtype=np.float64)
+        if live_coords.shape[0]:
+            d, f = trilinear_interpolate_multi(
+                live_coords, self.decoder.decode_vertices, spec.resolution
+            )
+            if keep is None:
+                interp_density, interp_features = d, f
+            else:
+                interp_density[keep] = d
+                interp_features[keep] = f
+        unique_fetches = self.decoder.stats.num_unique_lookups - unique_before
 
         # Empty samples (all eight decoded vertices zero) skip the MLP — this
         # is the sparsity the accelerator exploits, so the software model
@@ -86,10 +159,13 @@ class SpNeRFField:
         active = (interp_density > 0.0) | np.any(interp_features != 0.0, axis=-1)
         colors = np.zeros((grid_coords.shape[0], 3), dtype=np.float64)
         if np.any(active):
-            encoded_dirs = positional_encoding(
-                view_dirs[inside][active], self.num_view_frequencies
-            )
-            mlp_in = np.concatenate([interp_features[active], encoded_dirs], axis=-1)
+            if encoded_dirs is not None:
+                encoded = encoded_dirs[inside][active]
+            else:
+                encoded = positional_encoding(
+                    view_dirs[inside][active], self.num_view_frequencies
+                )
+            mlp_in = np.concatenate([interp_features[active], encoded], axis=-1)
             colors[active] = self.mlp.forward(mlp_in)
 
         density[inside] = interp_density
@@ -99,6 +175,7 @@ class SpNeRFField:
             num_samples=n,
             num_active_samples=int(active.sum()),
             num_vertex_lookups=int(inside.sum()) * 8,
+            num_unique_vertex_fetches=int(unique_fetches),
         )
         return density, rgb
 
@@ -132,6 +209,8 @@ def build_spnerf_from_scene(
     seed: int = 0,
     use_bitmap_masking: Optional[bool] = None,
     vqrf_model: Optional[VQRFModel] = None,
+    dedup_vertices: bool = True,
+    cull_empty_samples: bool = True,
 ) -> SpNeRFBundle:
     """Compress a scene with VQRF and preprocess it for SpNeRF.
 
@@ -149,6 +228,9 @@ def build_spnerf_from_scene(
     vqrf_model:
         Reuse an already-compressed model (avoids re-running k-means in
         sweeps that only vary SpNeRF parameters).
+    dedup_vertices, cull_empty_samples:
+        Hot-path switches forwarded to :class:`SpNeRFField` (vertex-reuse
+        decode cache and bitmap-based empty-sample cull).
     """
     if config is None:
         config = SpNeRFConfig()
@@ -167,6 +249,8 @@ def build_spnerf_from_scene(
         scene.mlp,
         num_view_frequencies=scene.render_config.num_view_frequencies,
         use_bitmap_masking=use_bitmap_masking,
+        dedup_vertices=dedup_vertices,
+        cull_empty_samples=cull_empty_samples,
     )
     return SpNeRFBundle(
         scene=scene, vqrf_model=vqrf_model, spnerf_model=spnerf_model, field=field

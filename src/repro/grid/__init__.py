@@ -19,6 +19,7 @@ low-dimensional *color feature* per vertex.  This subpackage provides:
 from repro.grid.interpolation import (
     corner_offsets,
     trilinear_interpolate,
+    trilinear_interpolate_multi,
     trilinear_vertices_and_weights,
 )
 from repro.grid.quantization import (
@@ -56,6 +57,7 @@ __all__ = [
     "sparse_encoding_report",
     "corner_offsets",
     "trilinear_interpolate",
+    "trilinear_interpolate_multi",
     "trilinear_vertices_and_weights",
     "QuantizedTensor",
     "quantize_int8",

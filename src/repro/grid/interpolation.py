@@ -10,6 +10,13 @@ with ``(x_p, y_p, z_p)`` the sample position and ``(x_g, y_g, z_g)`` the vertex
 position, both in grid coordinates.  The helpers here expose exactly that
 decomposition so the algorithmic model and the hardware model share one
 reference implementation.
+
+:func:`trilinear_interpolate` interpolates a single per-vertex quantity;
+:func:`trilinear_interpolate_multi` is the fused single-pass variant that
+computes vertices and weights once and interpolates several quantities
+(density + features) from one fetch — the software analogue of the hardware
+pipeline, where the Grid ID Unit runs once per sample regardless of how many
+channels are decoded.
 """
 
 from __future__ import annotations
@@ -22,28 +29,35 @@ __all__ = [
     "corner_offsets",
     "trilinear_vertices_and_weights",
     "trilinear_interpolate",
+    "trilinear_interpolate_multi",
 ]
+
+#: The eight (dx, dy, dz) corner offsets of a unit voxel, z fastest (the
+#: hardware's vertex issue order).  Allocated once and frozen; every caller
+#: shares this array.
+_CORNER_OFFSETS = np.array(
+    [
+        [0, 0, 0],
+        [0, 0, 1],
+        [0, 1, 0],
+        [0, 1, 1],
+        [1, 0, 0],
+        [1, 0, 1],
+        [1, 1, 0],
+        [1, 1, 1],
+    ],
+    dtype=np.int64,
+)
+_CORNER_OFFSETS.setflags(write=False)
 
 
 def corner_offsets() -> np.ndarray:
     """The eight ``(dx, dy, dz)`` corner offsets of a unit voxel.
 
     Ordered with z fastest, matching the hardware's vertex issue order.
+    Returns a shared read-only array; copy before mutating.
     """
-    offsets = np.array(
-        [
-            [0, 0, 0],
-            [0, 0, 1],
-            [0, 1, 0],
-            [0, 1, 1],
-            [1, 0, 0],
-            [1, 0, 1],
-            [1, 1, 0],
-            [1, 1, 1],
-        ],
-        dtype=np.int64,
-    )
-    return offsets
+    return _CORNER_OFFSETS
 
 
 def trilinear_vertices_and_weights(
@@ -71,21 +85,33 @@ def trilinear_vertices_and_weights(
     base = np.floor(coords).astype(np.int64)
     # Keep the cell fully inside the grid so base + 1 is a valid vertex.
     base = np.clip(base, 0, resolution - 2)
-    frac = coords - base
 
-    offsets = corner_offsets()  # (8, 3)
-    vertices = base[:, None, :] + offsets[None, :, :]  # (N, 8, 3)
+    vertices = base[:, None, :] + _CORNER_OFFSETS[None, :, :]  # (N, 8, 3)
 
-    # Eq. 2 of the paper: per-axis weight is 1 - |p - g|.
-    diff = np.abs(coords[:, None, :] - vertices.astype(np.float64))
-    per_axis = np.clip(1.0 - diff, 0.0, 1.0)
-    weights = np.prod(per_axis, axis=-1)  # (N, 8)
+    # Eq. 2 of the paper: per-axis weight is 1 - |p - g|.  Each axis only has
+    # two distinct vertex coordinates (base and base + 1), so the per-axis
+    # factors are computed once per axis as an (N, 2) pair and combined per
+    # corner — the same elementwise operations and multiply order as
+    # evaluating Eq. 2 on the full (N, 8, 3) lattice, at a quarter of the
+    # floating-point work.
+    base_f = base.astype(np.float64)
+    lo = np.clip(1.0 - np.abs(coords - base_f), 0.0, 1.0)          # (N, 3)
+    hi = np.clip(1.0 - np.abs(coords - (base_f + 1.0)), 0.0, 1.0)  # (N, 3)
+    per_axis = np.stack([lo, hi], axis=-1)  # (N, 3, 2)
+    ox, oy, oz = _CORNER_OFFSETS[:, 0], _CORNER_OFFSETS[:, 1], _CORNER_OFFSETS[:, 2]
+    weights = (per_axis[:, 0, ox] * per_axis[:, 1, oy]) * per_axis[:, 2, oz]
 
     vertices = np.clip(vertices, 0, resolution - 1)
-    # frac is retained in the closure for clarity of derivation; weights are
-    # computed directly from Eq. 2 so hardware and software agree bit-for-bit.
-    del frac
     return vertices, weights
+
+
+def _weighted_sum(weights: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Accumulate ``(N*8,)`` or ``(N*8, C)`` vertex values with Eq. 2 weights."""
+    n = weights.shape[0]
+    values = np.asarray(values)
+    if values.ndim == 1:
+        return np.einsum("nk,nk->n", weights, values.reshape(n, 8))
+    return np.einsum("nk,nkc->nc", weights, values.reshape(n, 8, -1))
 
 
 def trilinear_interpolate(
@@ -112,11 +138,39 @@ def trilinear_interpolate(
     ``(N, C)`` (or ``(N,)``) interpolated values.
     """
     vertices, weights = trilinear_vertices_and_weights(grid_coords, resolution)
-    n = vertices.shape[0]
-    flat = vertices.reshape(-1, 3)
-    values = np.asarray(vertex_fetch(flat))
-    if values.ndim == 1:
-        values = values.reshape(n, 8)
-        return np.einsum("nk,nk->n", weights, values)
-    values = values.reshape(n, 8, -1)
-    return np.einsum("nk,nkc->nc", weights, values)
+    values = vertex_fetch(vertices.reshape(-1, 3))
+    return _weighted_sum(weights, values)
+
+
+def trilinear_interpolate_multi(
+    grid_coords: np.ndarray,
+    vertex_fetch,
+    resolution: int,
+) -> Tuple[np.ndarray, ...]:
+    """Fused interpolation of several per-vertex quantities in one pass.
+
+    The corner lattice and Eq. 2 weights are computed once and
+    ``vertex_fetch`` is called once, so a field that needs both density and
+    features (every field in this repository) pays the Grid ID work a single
+    time instead of once per quantity.
+
+    Parameters
+    ----------
+    grid_coords:
+        ``(N, 3)`` continuous grid coordinates.
+    vertex_fetch:
+        Callable mapping an ``(M, 3)`` int64 vertex array to a *tuple* of
+        value arrays, each ``(M,)`` or ``(M, C)``.
+    resolution:
+        Grid resolution.
+
+    Returns
+    -------
+    Tuple of interpolated arrays, one per fetched quantity, each ``(N,)`` or
+    ``(N, C)`` matching the fetch's shapes.
+    """
+    vertices, weights = trilinear_vertices_and_weights(grid_coords, resolution)
+    fetched = vertex_fetch(vertices.reshape(-1, 3))
+    if not isinstance(fetched, tuple):
+        raise TypeError("vertex_fetch must return a tuple of value arrays")
+    return tuple(_weighted_sum(weights, values) for values in fetched)

@@ -6,21 +6,31 @@ composites them into an image.  The field abstraction is what lets the
 reference pipeline, the VQRF restore-based pipeline and the SpNeRF online
 decoding pipeline be compared with identical cameras, sampling and
 compositing.
+
+Two hot-path optimisations live here:
+
+* the view direction of a ray is identical for all of its samples, so the
+  positional encoding is computed once per ray and repeated, instead of once
+  per sample (fields opt in via ``accepts_encoded_dirs``);
+* opt-in early ray termination (``RenderConfig.transmittance_threshold``):
+  samples are queried in depth blocks and rays whose transmittance has fallen
+  below the threshold stop being queried.  Off by default so the default
+  render stays bit-exact; :meth:`RenderConfig.fast` turns it on.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Protocol, Tuple
 
 import numpy as np
 
-from repro.grid.interpolation import trilinear_interpolate
+from repro.grid.interpolation import trilinear_interpolate_multi
 from repro.grid.voxel_grid import VoxelGrid
 from repro.nerf.encoding import positional_encoding
 from repro.nerf.mlp import MLP
 from repro.nerf.rays import Camera, RayBatch, generate_rays, ray_aabb_intersect, sample_along_rays
-from repro.nerf.volume_rendering import composite_rays
+from repro.nerf.volume_rendering import composite_rays, density_to_alpha, segment_lengths
 
 __all__ = ["RadianceField", "DenseGridField", "RenderConfig", "VolumetricRenderer", "RenderStats"]
 
@@ -33,7 +43,10 @@ class RadianceField(Protocol):
 
     This is the minimal contract the low-level renderer needs; the public API
     (:class:`repro.api.RadianceField`) extends it with ``stats`` and
-    ``memory_report`` for workload and memory introspection.
+    ``memory_report`` for workload and memory introspection.  Fields may
+    additionally set ``accepts_encoded_dirs = True`` and take an
+    ``encoded_dirs`` keyword to receive the view-direction encoding
+    precomputed once per ray.
     """
 
     def query(self, points: np.ndarray, view_dirs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -42,7 +55,14 @@ class RadianceField(Protocol):
 
 @dataclass
 class RenderConfig:
-    """Sampling and compositing parameters shared by all pipelines."""
+    """Sampling and compositing parameters shared by all pipelines.
+
+    ``transmittance_threshold`` enables early ray termination: once a ray's
+    accumulated transmittance drops below it, the remaining samples are not
+    queried.  The default of 0.0 keeps rendering bit-exact (every sample is
+    queried); the :meth:`fast` profile enables it.  ``termination_block_size``
+    is the number of depth samples queried between transmittance checks.
+    """
 
     num_samples: int = 64
     near: float = 0.05
@@ -51,6 +71,19 @@ class RenderConfig:
     chunk_size: int = 8192
     stratified: bool = False
     num_view_frequencies: int = 4
+    transmittance_threshold: float = 0.0
+    termination_block_size: int = 16
+
+    def fast(self, **overrides) -> "RenderConfig":
+        """The fast-render profile: early ray termination enabled.
+
+        The 1e-3 threshold drops contributions bounded by 0.1% of pixel
+        intensity — invisible at 8-bit precision but enough to stop rays as
+        soon as they hit an opaque surface.
+        """
+        defaults = {"transmittance_threshold": 1e-3}
+        defaults.update(overrides)
+        return replace(self, **defaults)
 
 
 @dataclass
@@ -60,18 +93,31 @@ class RenderStats:
     These are the quantities the hardware models consume: how many rays were
     traced, how many samples were taken, how many of those landed in occupied
     space (and therefore trigger grid lookups and an MLP evaluation).
+    ``num_vertex_lookups`` stays *logical* (8 per queried in-bounds sample);
+    ``num_unique_vertex_fetches`` counts the physical fetches after the
+    vertex-reuse decode cache, so their ratio is the reuse factor the
+    accelerator's double-buffered decode exploits.
     """
 
     num_rays: int = 0
     num_samples: int = 0
     num_active_samples: int = 0
     num_vertex_lookups: int = 0
+    num_unique_vertex_fetches: int = 0
+
+    @property
+    def vertex_reuse_ratio(self) -> float:
+        """Logical vertex lookups per physical fetch (1.0 = no reuse)."""
+        if self.num_unique_vertex_fetches <= 0:
+            return 1.0
+        return self.num_vertex_lookups / self.num_unique_vertex_fetches
 
     def merge(self, other: "RenderStats") -> None:
         self.num_rays += other.num_rays
         self.num_samples += other.num_samples
         self.num_active_samples += other.num_active_samples
         self.num_vertex_lookups += other.num_vertex_lookups
+        self.num_unique_vertex_fetches += other.num_unique_vertex_fetches
 
 
 class DenseGridField:
@@ -81,8 +127,11 @@ class DenseGridField:
     comes from the MLP applied to the interpolated 12-channel feature and the
     encoded view direction.  This is the "ground truth" field the synthetic
     dataset's images are rendered from, and also what VQRF reconstructs after
-    its restore step.
+    its restore step.  Density and features are fetched in one fused
+    interpolation pass, so the corner lattice is computed once per query.
     """
+
+    accepts_encoded_dirs = True
 
     def __init__(self, grid: VoxelGrid, mlp: MLP, num_view_frequencies: int = 4) -> None:
         self.grid = grid
@@ -90,7 +139,12 @@ class DenseGridField:
         self.num_view_frequencies = num_view_frequencies
         self.last_stats = RenderStats()
 
-    def query(self, points: np.ndarray, view_dirs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    def query(
+        self,
+        points: np.ndarray,
+        view_dirs: np.ndarray,
+        encoded_dirs: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
         points = np.asarray(points, dtype=np.float64)
         view_dirs = np.asarray(view_dirs, dtype=np.float64)
         spec = self.grid.spec
@@ -106,17 +160,14 @@ class DenseGridField:
             return density, rgb
 
         grid_coords = spec.world_to_grid(points[inside])
-        resolution = spec.resolution
 
-        interp_density = trilinear_interpolate(
+        interp_density, interp_features = trilinear_interpolate_multi(
             grid_coords,
-            lambda v: self.grid.density[v[:, 0], v[:, 1], v[:, 2]],
-            resolution,
-        )
-        interp_features = trilinear_interpolate(
-            grid_coords,
-            lambda v: self.grid.features[v[:, 0], v[:, 1], v[:, 2]],
-            resolution,
+            lambda v: (
+                self.grid.density[v[:, 0], v[:, 1], v[:, 2]],
+                self.grid.features[v[:, 0], v[:, 1], v[:, 2]],
+            ),
+            spec.resolution,
         )
 
         # Only samples that actually touch occupied space need the MLP: empty
@@ -126,20 +177,27 @@ class DenseGridField:
         active = (interp_density > 0.0) | np.any(interp_features != 0.0, axis=-1)
         colors = np.zeros((grid_coords.shape[0], 3), dtype=np.float64)
         if np.any(active):
-            encoded_dirs = positional_encoding(
-                view_dirs[inside][active], self.num_view_frequencies
-            )
-            mlp_in = np.concatenate([interp_features[active], encoded_dirs], axis=-1)
+            if encoded_dirs is not None:
+                encoded = encoded_dirs[inside][active]
+            else:
+                encoded = positional_encoding(
+                    view_dirs[inside][active], self.num_view_frequencies
+                )
+            mlp_in = np.concatenate([interp_features[active], encoded], axis=-1)
             colors[active] = self.mlp.forward(mlp_in)
 
         density[inside] = interp_density
         rgb[inside] = colors
 
+        lookups = int(inside.sum()) * 8
         self.last_stats = RenderStats(
             num_rays=0,
             num_samples=n,
             num_active_samples=int(active.sum()),
-            num_vertex_lookups=int(inside.sum()) * 8,
+            num_vertex_lookups=lookups,
+            # The dense field indexes its host arrays directly: every lookup
+            # is a physical fetch, so the reuse ratio reads 1.0.
+            num_unique_vertex_fetches=lookups,
         )
         return density, rgb
 
@@ -168,6 +226,37 @@ class VolumetricRenderer:
         self.last_stats = RenderStats()
 
     # ------------------------------------------------------------------
+    def _encode_ray_dirs(self, directions: np.ndarray) -> Optional[np.ndarray]:
+        """Per-ray view-direction encoding, if the field can accept it."""
+        if not getattr(self.field, "accepts_encoded_dirs", False):
+            return None
+        frequencies = getattr(
+            self.field, "num_view_frequencies", self.config.num_view_frequencies
+        )
+        return positional_encoding(directions, frequencies)
+
+    def _query(
+        self,
+        points: np.ndarray,
+        dirs: np.ndarray,
+        encoded: Optional[np.ndarray],
+        batch_stats: RenderStats,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Query the field and fold its per-query counters into ``batch_stats``."""
+        if encoded is not None:
+            density, rgb = self.field.query(points, dirs, encoded_dirs=encoded)
+        else:
+            density, rgb = self.field.query(points, dirs)
+        stats = getattr(self.field, "last_stats", None)
+        if stats is not None:
+            batch_stats.num_active_samples += stats.num_active_samples
+            batch_stats.num_vertex_lookups += stats.num_vertex_lookups
+            batch_stats.num_unique_vertex_fetches += getattr(
+                stats, "num_unique_vertex_fetches", 0
+            )
+        return density, rgb
+
+    # ------------------------------------------------------------------
     def render_rays(self, rays: RayBatch, rng: Optional[np.random.Generator] = None) -> np.ndarray:
         """Render a batch of rays to ``(N, 3)`` pixel colors."""
         cfg = self.config
@@ -175,24 +264,78 @@ class VolumetricRenderer:
             rays, cfg.num_samples, stratified=cfg.stratified, rng=rng
         )
         n, s, _ = points.shape
-        flat_points = points.reshape(-1, 3)
-        flat_dirs = np.repeat(rays.directions, s, axis=0)
+        encoded_rays = self._encode_ray_dirs(rays.directions)
+        batch_stats = RenderStats(num_rays=n, num_samples=n * s)
 
-        density, rgb = self.field.query(flat_points, flat_dirs)
-        density = density.reshape(n, s)
-        rgb = rgb.reshape(n, s, 3)
+        if cfg.transmittance_threshold > 0.0 and s > 1:
+            density, rgb = self._query_with_termination(
+                points, t_values, rays.directions, encoded_rays, batch_stats
+            )
+        else:
+            flat_points = points.reshape(-1, 3)
+            flat_dirs = np.repeat(rays.directions, s, axis=0)
+            flat_encoded = (
+                np.repeat(encoded_rays, s, axis=0) if encoded_rays is not None else None
+            )
+            density, rgb = self._query(flat_points, flat_dirs, flat_encoded, batch_stats)
+            density = density.reshape(n, s)
+            rgb = rgb.reshape(n, s, 3)
 
         pixels, _, _ = composite_rays(
             density, rgb, t_values, background=np.asarray(cfg.background)
         )
-
-        stats = getattr(self.field, "last_stats", None)
-        batch_stats = RenderStats(num_rays=n, num_samples=n * s)
-        if stats is not None:
-            batch_stats.num_active_samples = stats.num_active_samples
-            batch_stats.num_vertex_lookups = stats.num_vertex_lookups
         self.last_stats.merge(batch_stats)
         return pixels
+
+    # ------------------------------------------------------------------
+    def _query_with_termination(
+        self,
+        points: np.ndarray,
+        t_values: np.ndarray,
+        directions: np.ndarray,
+        encoded_rays: Optional[np.ndarray],
+        batch_stats: RenderStats,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Query samples in depth blocks, dropping rays that went opaque.
+
+        Samples never queried keep zero density, so they contribute nothing
+        when the assembled arrays are composited; the image differs from an
+        exhaustive render only by contributions bounded by the threshold.
+        """
+        cfg = self.config
+        n, s, _ = points.shape
+        block = max(1, int(cfg.termination_block_size))
+        deltas = segment_lengths(t_values)
+
+        density = np.zeros((n, s), dtype=np.float64)
+        rgb = np.zeros((n, s, 3), dtype=np.float64)
+        transmittance = np.ones(n, dtype=np.float64)
+        alive = np.arange(n)
+
+        for start in range(0, s, block):
+            if alive.size == 0:
+                break
+            end = min(start + block, s)
+            width = end - start
+            pts = points[alive, start:end].reshape(-1, 3)
+            dirs = np.repeat(directions[alive], width, axis=0)
+            enc = (
+                np.repeat(encoded_rays[alive], width, axis=0)
+                if encoded_rays is not None
+                else None
+            )
+            d, c = self._query(pts, dirs, enc, batch_stats)
+            d = d.reshape(-1, width)
+            density[alive, start:end] = d
+            rgb[alive, start:end] = c.reshape(-1, width, 3)
+
+            # Same (1 - alpha + 1e-10) product as compute_weights, so the
+            # termination decision is consistent with the compositor.
+            alphas = density_to_alpha(d, deltas[alive, start:end])
+            transmittance[alive] *= np.prod(1.0 - alphas + 1e-10, axis=-1)
+            alive = alive[transmittance[alive] > cfg.transmittance_threshold]
+
+        return density, rgb
 
     # ------------------------------------------------------------------
     def render_image(

@@ -13,7 +13,14 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-__all__ = ["softplus", "density_to_alpha", "compute_weights", "composite_rays"]
+__all__ = [
+    "softplus",
+    "density_to_alpha",
+    "segment_lengths",
+    "compute_transmittance",
+    "compute_weights",
+    "composite_rays",
+]
 
 
 def softplus(x: np.ndarray, beta: float = 1.0) -> np.ndarray:
@@ -37,14 +44,39 @@ def density_to_alpha(raw_density: np.ndarray, deltas: np.ndarray) -> np.ndarray:
     return 1.0 - np.exp(-sigma * np.asarray(deltas, dtype=np.float64))
 
 
+def segment_lengths(t_values: np.ndarray) -> np.ndarray:
+    """Per-sample segment lengths along each ray.
+
+    The last sample reuses the trailing delta so every sample has a length;
+    lengths are floored at 1e-10.  Shared by :func:`composite_rays` and the
+    renderer's early-termination loop so both see identical alphas.
+    """
+    t_values = np.asarray(t_values, dtype=np.float64)
+    deltas = np.diff(t_values, axis=-1)
+    # Use the trailing delta for the last sample so every sample has a length.
+    last = deltas[..., -1:] if deltas.shape[-1] else np.ones_like(t_values[..., :1])
+    deltas = np.concatenate([deltas, last], axis=-1)
+    return np.maximum(deltas, 1e-10)
+
+
+def compute_transmittance(alphas: np.ndarray) -> np.ndarray:
+    """Transmittance *before* each sample: ``T_i = prod_{j<i}(1 - alpha_j)``.
+
+    Uses the same ``1 - alpha + 1e-10`` guard as :func:`compute_weights`, so
+    early-termination decisions taken on this quantity agree with the
+    compositor bit-for-bit.
+    """
+    alphas = np.asarray(alphas, dtype=np.float64)
+    transmittance = np.cumprod(1.0 - alphas + 1e-10, axis=-1)
+    return np.concatenate(
+        [np.ones_like(transmittance[..., :1]), transmittance[..., :-1]], axis=-1
+    )
+
+
 def compute_weights(alphas: np.ndarray) -> np.ndarray:
     """Front-to-back compositing weights ``w_i = alpha_i * prod_{j<i}(1 - alpha_j)``."""
     alphas = np.asarray(alphas, dtype=np.float64)
-    transmittance = np.cumprod(1.0 - alphas + 1e-10, axis=-1)
-    transmittance = np.concatenate(
-        [np.ones_like(transmittance[..., :1]), transmittance[..., :-1]], axis=-1
-    )
-    return alphas * transmittance
+    return alphas * compute_transmittance(alphas)
 
 
 def composite_rays(
@@ -81,13 +113,7 @@ def composite_rays(
     if rgb.shape[:2] != raw_density.shape or rgb.shape[2] != 3:
         raise ValueError("rgb must have shape (N, S, 3) matching raw_density")
 
-    deltas = np.diff(t_values, axis=-1)
-    # Use the trailing delta for the last sample so every sample has a length.
-    last = deltas[..., -1:] if deltas.shape[-1] else np.ones_like(t_values[..., :1])
-    deltas = np.concatenate([deltas, last], axis=-1)
-    deltas = np.maximum(deltas, 1e-10)
-
-    alphas = density_to_alpha(raw_density, deltas)
+    alphas = density_to_alpha(raw_density, segment_lengths(t_values))
     weights = compute_weights(alphas)
     pixels = np.einsum("ns,nsc->nc", weights, rgb)
     accumulated = weights.sum(axis=-1)

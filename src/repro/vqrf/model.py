@@ -166,14 +166,17 @@ class VQRFField:
     error (pruning + VQ + INT8), not the renderer.
     """
 
+    accepts_encoded_dirs = True
+
     def __init__(self, model: VQRFModel, mlp: MLP, num_view_frequencies: int = 4) -> None:
         self.model = model
         self.restored_grid = model.restore()
         self._dense_field = DenseGridField(self.restored_grid, mlp, num_view_frequencies)
+        self.num_view_frequencies = num_view_frequencies
         self.last_stats = self._dense_field.last_stats
 
-    def query(self, points: np.ndarray, view_dirs: np.ndarray):
-        density, rgb = self._dense_field.query(points, view_dirs)
+    def query(self, points: np.ndarray, view_dirs: np.ndarray, encoded_dirs=None):
+        density, rgb = self._dense_field.query(points, view_dirs, encoded_dirs=encoded_dirs)
         self.last_stats = self._dense_field.last_stats
         return density, rgb
 
