@@ -1,0 +1,277 @@
+"""Load benchmark of the repro.serve subsystem (stdlib CLI, no pytest).
+
+Drives a :class:`repro.serve.RenderServer` over several scenes and pipelines
+with the two canonical load shapes and writes ``BENCH_serve.json`` at the
+repo root, next to ``BENCH_render.json``:
+
+* **closed loop** — a fixed client pool keeps requests in flight; measures
+  sustainable throughput (rays/s) and per-``scene/pipeline`` p50/p95 latency;
+* **open loop** — Poisson arrivals at a fixed rate; measures queueing
+  latency and queue-wait percentiles under uncoordinated traffic.
+
+Before any timing, one frame is rendered through the server (tile-sharded,
+scheduled) and compared bitwise against the same frame rendered directly by
+the bundle's :class:`~repro.api.RenderEngine` — the serve layer must be a
+scheduler, not a new renderer.  A mismatch fails the run.
+
+Usage::
+
+    python benchmarks/perf_serve.py --quick          # CI-sized smoke profile
+    python benchmarks/perf_serve.py                  # full-sized run
+    python benchmarks/perf_serve.py --quick --min-store-hit-rate 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import PipelineConfig, SpNeRFConfig  # noqa: E402  (path bootstrap above)
+from repro.serve import (  # noqa: E402
+    RenderServer,
+    SceneStore,
+    ServeResult,
+    closed_loop_workload,
+    percentile,
+    poisson_workload,
+    replay_closed_loop,
+    replay_open_loop,
+)
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_serve.json"
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenes", default="lego,ficus", help="comma-separated scene names")
+    parser.add_argument(
+        "--pipelines", default="dense,spnerf", help="comma-separated pipeline names"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized profile (smaller scenes, fewer requests)",
+    )
+    parser.add_argument("--resolution", type=int, default=None, help="grid resolution override")
+    parser.add_argument("--image-size", type=int, default=None, help="frame side override")
+    parser.add_argument("--num-samples", type=int, default=None, help="samples per ray override")
+    parser.add_argument("--requests", type=int, default=None, help="closed-loop request count")
+    parser.add_argument("--concurrency", type=int, default=4, help="closed-loop clients")
+    parser.add_argument("--rate", type=float, default=None, help="open-loop arrival rate (Hz)")
+    parser.add_argument("--duration", type=float, default=None, help="open-loop trace length (s)")
+    parser.add_argument("--tile-size", type=int, default=None, help="server tile size override")
+    parser.add_argument(
+        "--memory-budget-mb", type=float, default=None, help="scene-store budget (MB)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="traffic seed")
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="where to write the JSON report"
+    )
+    parser.add_argument(
+        "--min-store-hit-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="fail when the final scene-store hit rate falls below RATE",
+    )
+    return parser.parse_args(argv)
+
+
+def resolve_config(args: argparse.Namespace) -> dict:
+    if args.quick:
+        config = {
+            "resolution": 40, "image_size": 48, "num_samples": 48,
+            "requests": 8, "rate_hz": 4.0, "duration_s": 2.0,
+        }
+    else:
+        config = {
+            "resolution": 64, "image_size": 80, "num_samples": 64,
+            "requests": 16, "rate_hz": 2.0, "duration_s": 6.0,
+        }
+    overrides = {
+        "resolution": args.resolution, "image_size": args.image_size,
+        "num_samples": args.num_samples, "requests": args.requests,
+        "rate_hz": args.rate, "duration_s": args.duration,
+    }
+    config.update({k: v for k, v in overrides.items() if v is not None})
+    config["scenes"] = [name.strip() for name in args.scenes.split(",") if name.strip()]
+    config["pipelines"] = [name.strip() for name in args.pipelines.split(",") if name.strip()]
+    config["concurrency"] = args.concurrency
+    config["tile_size"] = args.tile_size
+    config["seed"] = args.seed
+    config["quick"] = bool(args.quick)
+    return config
+
+
+def make_store(config: dict, args: argparse.Namespace) -> SceneStore:
+    budget = (
+        int(args.memory_budget_mb * 1e6) if args.memory_budget_mb is not None else None
+    )
+    pipeline_config = PipelineConfig(
+        spnerf=SpNeRFConfig(num_subgrids=16, hash_table_size=4096, codebook_size=64),
+        kmeans_iterations=3,
+    )
+    return SceneStore(
+        memory_budget_bytes=budget,
+        config=pipeline_config,
+        scene_kwargs={
+            "resolution": config["resolution"],
+            "image_size": config["image_size"],
+            "num_views": 1,
+            "num_samples": config["num_samples"],
+        },
+    )
+
+
+def check_bit_identity(store: SceneStore, config: dict) -> bool:
+    """A tile-sharded, scheduled frame must equal the direct engine render.
+
+    Uses a deliberately odd tile size so the final partial tile is exercised;
+    the direct render chunks its rays at the same size, which is the
+    partition on which renders are bitwise reproducible.
+    """
+    scene = config["scenes"][0]
+    pipeline = config["pipelines"][-1]
+    tile_size = 193
+    server = RenderServer(store)
+    job = server.submit(scene, pipeline, tile_size=tile_size)
+    server.run_until_idle()
+    served = server.result(job).image
+    direct = store.get(scene, pipeline).engine.render(
+        camera_indices=(0,), chunk_size=tile_size
+    ).image
+    return bool(np.array_equal(served, direct))
+
+
+def group_results(results: List[ServeResult]) -> Dict[str, dict]:
+    """Per-``scene/pipeline`` throughput and latency percentiles."""
+    groups: Dict[str, List[ServeResult]] = {}
+    for result in results:
+        groups.setdefault(f"{result.scene}/{result.pipeline}", []).append(result)
+    summary = {}
+    for key, members in sorted(groups.items()):
+        latencies = [m.latency_s for m in members]
+        service = sum(m.service_s for m in members)
+        rays = sum(m.stats.num_rays for m in members)
+        summary[key] = {
+            "num_jobs": len(members),
+            "throughput_rays_per_s": rays / service if service > 0 else 0.0,
+            "latency_p50_s": percentile(latencies, 50),
+            "latency_p95_s": percentile(latencies, 95),
+            "mean_service_s": service / len(members),
+        }
+    return summary
+
+
+def completed_results(server: RenderServer, job_ids: List[str]) -> List[ServeResult]:
+    return [
+        server.result(job_id)
+        for job_id in job_ids
+        if server.poll(job_id).state.value == "done"
+    ]
+
+
+def run(args: argparse.Namespace) -> int:
+    config = resolve_config(args)
+    scenes, pipelines = config["scenes"], config["pipelines"]
+    print(f"# perf_serve: scenes={scenes} pipelines={pipelines} "
+          f"resolution={config['resolution']} image={config['image_size']}px")
+
+    store = make_store(config, args)
+    report = {
+        "config": config,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+
+    identical = check_bit_identity(store, config)
+    report["bit_identical_to_direct_render"] = identical
+    print(f"bit-identity vs direct engine render: {identical}")
+
+    # Closed loop: fixed client pool, sustainable throughput.
+    closed_server = RenderServer(store, default_tile_size=config["tile_size"])
+    closed_items = closed_loop_workload(
+        scenes, pipelines, config["requests"], seed=config["seed"]
+    )
+    start = time.perf_counter()
+    closed_ids = replay_closed_loop(closed_server, closed_items, config["concurrency"])
+    closed_wall = time.perf_counter() - start
+    closed_stats = closed_server.stats()
+    closed = {
+        "wall_s": closed_wall,
+        "per_pipeline": group_results(completed_results(closed_server, closed_ids)),
+        "server": closed_stats.as_dict(),
+    }
+    report["closed_loop"] = closed
+    print(f"closed loop: {closed_stats.completed}/{len(closed_ids)} jobs in "
+          f"{closed_wall:.2f}s  {closed_stats.throughput_rays_per_s:,.0f} rays/s  "
+          f"p50 {closed_stats.latency_p50_s:.3f}s  p95 {closed_stats.latency_p95_s:.3f}s")
+
+    # Open loop: Poisson arrivals against the (now warm) store.
+    open_server = RenderServer(store, default_tile_size=config["tile_size"])
+    open_items = poisson_workload(
+        scenes, pipelines, rate_hz=config["rate_hz"], duration_s=config["duration_s"],
+        seed=config["seed"], high_priority_fraction=0.25,
+    )
+    open_ids = replay_open_loop(open_server, open_items)
+    open_stats = open_server.stats()
+    report["open_loop"] = {
+        "num_arrivals": len(open_items),
+        "per_pipeline": group_results(completed_results(open_server, open_ids)),
+        "server": open_stats.as_dict(),
+    }
+    print(f"open loop: {open_stats.completed}/{len(open_items)} jobs at "
+          f"{config['rate_hz']:.1f} Hz  p50 {open_stats.latency_p50_s:.3f}s  "
+          f"p95 {open_stats.latency_p95_s:.3f}s  "
+          f"queue-wait p95 {open_stats.queue_wait_p95_s:.3f}s")
+
+    store_stats = store.stats()
+    report["store"] = {
+        "hits": store_stats.hits,
+        "misses": store_stats.misses,
+        "hit_rate": store_stats.hit_rate,
+        "evictions": store_stats.evictions,
+        "resident_entries": store_stats.resident_entries,
+        "resident_bytes": store_stats.resident_bytes,
+        "build_time_s": store_stats.build_time_s,
+    }
+    print(f"store: hit rate {store_stats.hit_rate:.2f}  "
+          f"evictions {store_stats.evictions}  "
+          f"resident {store_stats.resident_bytes / 1e6:.1f} MB")
+
+    failures = []
+    if not identical:
+        failures.append("server-rendered frame is not bit-identical to the direct engine render")
+    expected_pairs = len(scenes) * len(pipelines)
+    covered = len(report["closed_loop"]["per_pipeline"])
+    if covered < expected_pairs:
+        failures.append(
+            f"closed loop covered {covered}/{expected_pairs} scene x pipeline pairs"
+        )
+    if args.min_store_hit_rate is not None and store_stats.hit_rate < args.min_store_hit_rate:
+        failures.append(
+            f"store hit rate {store_stats.hit_rate:.2f} below required "
+            f"{args.min_store_hit_rate:.2f}"
+        )
+    report["guards"] = {
+        "min_store_hit_rate": args.min_store_hit_rate,
+        "failures": failures,
+    }
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"# wrote {args.output}")
+    for failure in failures:
+        print(f"GUARD FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(run(parse_args()))

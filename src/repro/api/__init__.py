@@ -23,6 +23,10 @@ Three layers:
 
 For convenience the facade also re-exports the scene loaders, image metrics
 and the hardware entry points examples typically pair with rendering.
+
+The multi-scene serving layer (:mod:`repro.serve` — scene store, tile
+scheduler, :class:`~repro.serve.RenderServer`) builds entirely on this
+facade; anything registered here is servable there.
 """
 
 from repro.api.config import PipelineConfig
@@ -40,7 +44,9 @@ from repro.api.registry import (
     pipeline_descriptions,
     register_pipeline,
     reset_vqrf_cache_stats,
+    set_vqrf_cache_limit,
     unregister_pipeline,
+    vqrf_cache_limit,
     vqrf_cache_stats,
 )
 
@@ -77,6 +83,8 @@ __all__ = [
     "clear_vqrf_cache",
     "vqrf_cache_stats",
     "reset_vqrf_cache_stats",
+    "vqrf_cache_limit",
+    "set_vqrf_cache_limit",
     # engine
     "RenderEngine",
     "RenderRequest",

@@ -15,7 +15,7 @@ identical to the pre-facade hand-wired flows.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -68,6 +68,26 @@ class RenderRequest:
     hardware_probe_resolution: int = 48
     chunk_size: Optional[int] = None
     transmittance_threshold: Optional[float] = None
+
+
+#: Valid keyword names for requests built from ``RenderEngine.render(**kwargs)``.
+_REQUEST_FIELDS = frozenset(f.name for f in fields(RenderRequest))
+
+
+def _make_request(kwargs: Dict[str, object]) -> RenderRequest:
+    """Build a request from keywords, rejecting unknown names up front.
+
+    Without the check, a typo like ``camera_index=0`` surfaces as the raw
+    dataclass constructor error, which names neither the engine nor the set
+    of valid fields.
+    """
+    unknown = sorted(set(kwargs) - _REQUEST_FIELDS)
+    if unknown:
+        raise TypeError(
+            f"unknown RenderRequest field(s) {unknown}; "
+            f"valid fields are {sorted(_REQUEST_FIELDS)}"
+        )
+    return RenderRequest(**kwargs)
 
 
 @dataclass(eq=False)
@@ -183,7 +203,7 @@ class RenderEngine:
     def render(self, request: Optional[RenderRequest] = None, **kwargs) -> RenderResult:
         """Execute one :class:`RenderRequest` (built from ``kwargs`` if omitted)."""
         if request is None:
-            request = RenderRequest(**kwargs)
+            request = _make_request(kwargs)
         elif kwargs:
             raise TypeError("pass either a RenderRequest or keyword arguments, not both")
 
@@ -238,7 +258,7 @@ class RenderEngine:
 
     def render_views(self, camera_indices: Sequence[int], **kwargs) -> RenderResult:
         """Multi-view batch render returning one aggregated result."""
-        return self.render(RenderRequest(camera_indices=tuple(camera_indices), **kwargs))
+        return self.render(_make_request({"camera_indices": tuple(camera_indices), **kwargs}))
 
     # ------------------------------------------------------------------
     def _psnr_values(

@@ -21,6 +21,7 @@ per compression key, so design-space sweeps that only vary SpNeRF parameters
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple, Union
 
@@ -45,6 +46,8 @@ __all__ = [
     "clear_vqrf_cache",
     "vqrf_cache_stats",
     "reset_vqrf_cache_stats",
+    "vqrf_cache_limit",
+    "set_vqrf_cache_limit",
 ]
 
 #: Attribute under which the per-scene VQRF-model cache is stored.
@@ -120,23 +123,53 @@ def _get_pipeline(name: str) -> PipelineSpec:
 
 @dataclass
 class VQRFCacheStats:
-    """Hit/miss counters of the VQRF-model cache (observability + tests)."""
+    """Hit/miss/eviction counters of the VQRF-model cache (observability + tests)."""
 
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
 
 
 _CACHE_STATS = VQRFCacheStats()
 
+#: Per-scene cap on cached compressed models.  Sweeps vary compression
+#: parameters freely, and an unbounded cache would pin one multi-MB model per
+#: distinct compression key for the scene's lifetime; 8 comfortably covers
+#: every sweep in the repo while bounding worst-case residency, consistent
+#: with the serve layer's budgeted :class:`~repro.serve.store.SceneStore`.
+_DEFAULT_CACHE_LIMIT = 8
+_CACHE_LIMIT: Optional[int] = _DEFAULT_CACHE_LIMIT
+
 
 def vqrf_cache_stats() -> VQRFCacheStats:
-    """Process-wide hit/miss counters of the VQRF-model cache."""
+    """Process-wide hit/miss/eviction counters of the VQRF-model cache."""
     return _CACHE_STATS
 
 
 def reset_vqrf_cache_stats() -> None:
     _CACHE_STATS.hits = 0
     _CACHE_STATS.misses = 0
+    _CACHE_STATS.evictions = 0
+
+
+def vqrf_cache_limit() -> Optional[int]:
+    """Max cached models per scene (``None`` = unbounded)."""
+    return _CACHE_LIMIT
+
+
+def set_vqrf_cache_limit(limit: Optional[int]) -> Optional[int]:
+    """Set the per-scene cache cap, returning the previous value.
+
+    Applies on the insertion path: a scene's cache is trimmed the next time
+    a newly compressed model is added to it (pure hits never evict).
+    ``None`` removes the bound (the pre-cap behaviour).
+    """
+    global _CACHE_LIMIT
+    if limit is not None and limit < 1:
+        raise ValueError(f"cache limit must be at least 1 (or None), got {limit}")
+    previous = _CACHE_LIMIT
+    _CACHE_LIMIT = limit
+    return previous
 
 
 def clear_vqrf_cache(scene: SyntheticScene) -> None:
@@ -150,12 +183,17 @@ def compress_with_cache(scene: SyntheticScene, config: PipelineConfig) -> VQRFMo
     The cache lives on the scene object itself (so its lifetime matches the
     scene's) and is keyed by :meth:`PipelineConfig.compression_key`, i.e. by
     every parameter that influences compression — configurations that only
-    differ in SpNeRF knobs share one k-means run.
+    differ in SpNeRF knobs share one k-means run.  Each scene keeps at most
+    :func:`vqrf_cache_limit` models, evicting least-recently-used ones (the
+    eviction count is reported by :func:`vqrf_cache_stats`).
     """
     key = config.compression_key()
-    cache: Dict[Tuple, VQRFModel] = scene.__dict__.setdefault(_SCENE_CACHE_ATTR, {})
+    cache: "OrderedDict[Tuple, VQRFModel]" = scene.__dict__.setdefault(
+        _SCENE_CACHE_ATTR, OrderedDict()
+    )
     if config.cache_vqrf and key in cache:
         _CACHE_STATS.hits += 1
+        cache.move_to_end(key)
         return cache[key]
     _CACHE_STATS.misses += 1
     model = compress_scene(
@@ -168,6 +206,9 @@ def compress_with_cache(scene: SyntheticScene, config: PipelineConfig) -> VQRFMo
     )
     if config.cache_vqrf:
         cache[key] = model
+        while _CACHE_LIMIT is not None and len(cache) > _CACHE_LIMIT:
+            cache.popitem(last=False)
+            _CACHE_STATS.evictions += 1
     return model
 
 

@@ -1,0 +1,70 @@
+"""Multi-scene render serving on top of :mod:`repro.api`.
+
+The serve subsystem turns the single-request :class:`~repro.api.RenderEngine`
+into a multi-tenant server:
+
+>>> from repro.serve import RenderServer, SceneStore
+>>> store = SceneStore(memory_budget_bytes=256_000_000,
+...                    scene_kwargs={"resolution": 64, "image_size": 64})
+>>> server = RenderServer(store, max_pending=32)
+>>> job = server.submit("lego", "spnerf", priority=1)
+>>> server.run_until_idle()
+>>> server.result(job).image.shape
+(64, 64, 3)
+
+Five layers, one module each:
+
+* :mod:`~repro.serve.store` — :class:`SceneStore`: lazily built
+  ``(scene, field, engine)`` bundles per ``(scene_name, pipeline)``, LRU
+  eviction under a memory budget measured by the fields' own
+  ``memory_report()``.
+* :mod:`~repro.serve.tiles` — frame sharding into contiguous pixel tiles
+  whose recomposition is bit-identical to a direct whole-frame render.
+* :mod:`~repro.serve.server` — :class:`RenderServer`: submit/poll/result,
+  priority + FIFO queues with per-tile round-robin, admission control and
+  deadlines.
+* :mod:`~repro.serve.telemetry` — :class:`ServerStats` snapshots (latency
+  percentiles, throughput, cache hit rates, evictions, vertex reuse).
+* :mod:`~repro.serve.traffic` — synthetic open-loop (Poisson) and
+  closed-loop workloads plus replay harnesses; ``benchmarks/perf_serve.py``
+  builds on them and writes ``BENCH_serve.json``.
+"""
+
+from repro.serve.server import JobState, JobView, Priority, RenderServer, ServeResult
+from repro.serve.store import SceneBundleRecord, SceneStore, SceneStoreStats
+from repro.serve.telemetry import ServerStats, Telemetry, percentile
+from repro.serve.tiles import Tile, assemble_tiles, plan_tiles
+from repro.serve.traffic import (
+    TrafficItem,
+    closed_loop_workload,
+    poisson_workload,
+    replay_closed_loop,
+    replay_open_loop,
+)
+
+__all__ = [
+    # store
+    "SceneStore",
+    "SceneBundleRecord",
+    "SceneStoreStats",
+    # tiles
+    "Tile",
+    "plan_tiles",
+    "assemble_tiles",
+    # server
+    "RenderServer",
+    "Priority",
+    "JobState",
+    "JobView",
+    "ServeResult",
+    # telemetry
+    "ServerStats",
+    "Telemetry",
+    "percentile",
+    # traffic
+    "TrafficItem",
+    "poisson_workload",
+    "closed_loop_workload",
+    "replay_open_loop",
+    "replay_closed_loop",
+]

@@ -1,0 +1,432 @@
+"""The :class:`RenderServer`: multi-scene render serving on one worker.
+
+The server turns the single-request :class:`~repro.api.RenderEngine` into a
+multi-tenant front end with submit/poll/result semantics:
+
+* **Admission** — submissions beyond ``max_pending`` are rejected
+  immediately (the caller sees a ``REJECTED`` job instead of unbounded
+  queue growth).
+* **Scheduling** — two FIFO queues, ``Priority.HIGH`` drained before
+  ``Priority.NORMAL``; within a queue, jobs advance one *tile* at a time in
+  round-robin, so an 800x800 frame never head-of-line-blocks a thumbnail.
+* **Deadlines** — a job whose ``deadline_s`` elapses before it finishes is
+  expired at the next scheduling point and stops consuming tiles.
+* **Residency** — fields and engines come from the :class:`SceneStore`, so
+  the first request for a ``(scene, pipeline)`` pays the build and later
+  requests are pure rendering.
+
+Execution is deliberately single-threaded and cooperative: callers (or the
+traffic replayers in :mod:`repro.serve.traffic`) pump :meth:`step`, which
+renders exactly one tile.  The rendering workload is numpy/BLAS-bound, so a
+thread pool would serialise on the GIL anyway; process-level parallelism is
+the sharding layer future PRs add *on top of* this scheduler.  Determinism is
+what the tests buy: the same submissions in the same order produce the same
+schedule, and served frames are bit-identical to direct engine renders (see
+:mod:`repro.serve.tiles`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum, IntEnum
+from typing import Callable, Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.api import RenderRequest
+from repro.nerf.metrics import psnr as compute_psnr
+from repro.nerf.renderer import RenderStats
+from repro.serve.store import SceneBundleRecord, SceneStore
+from repro.serve.telemetry import ServerStats, Telemetry
+from repro.serve.tiles import Tile, assemble_tiles, plan_tiles
+
+__all__ = ["Priority", "JobState", "JobView", "ServeResult", "RenderServer"]
+
+
+class Priority(IntEnum):
+    """Scheduling class: HIGH is always drained before NORMAL."""
+
+    HIGH = 0
+    NORMAL = 1
+
+
+class JobState(str, Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    REJECTED = "rejected"
+    EXPIRED = "expired"
+    FAILED = "failed"
+
+
+#: States in which a job still wants worker time.
+_ACTIVE_STATES = (JobState.QUEUED, JobState.RUNNING)
+
+
+@dataclass(eq=False)
+class _Job:
+    """Internal per-job bookkeeping (callers see :class:`JobView`)."""
+
+    job_id: str
+    scene: str
+    pipeline: str
+    camera_index: int
+    priority: Priority
+    deadline_s: Optional[float]
+    tile_size: Optional[int]
+    transmittance_threshold: Optional[float]
+    compare_to_reference: bool
+    submitted_at: float
+    state: JobState = JobState.QUEUED
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    record: Optional[SceneBundleRecord] = None
+    bundle_cached: bool = False
+    tiles: List[Tile] = field(default_factory=list)
+    next_tile: int = 0
+    tile_images: List[np.ndarray] = field(default_factory=list)
+    stats: RenderStats = field(default_factory=RenderStats)
+    service_s: float = 0.0
+    error: Optional[str] = None
+    result: Optional["ServeResult"] = None
+
+
+@dataclass(eq=False)
+class JobView:
+    """What :meth:`RenderServer.poll` returns: a job's externally visible state."""
+
+    job_id: str
+    state: JobState
+    scene: str
+    pipeline: str
+    camera_index: int
+    priority: Priority
+    tiles_total: int
+    tiles_done: int
+    age_s: float
+    error: Optional[str] = None
+
+    @property
+    def progress(self) -> float:
+        """Fraction of tiles rendered (0.0 before the job is planned)."""
+        return self.tiles_done / self.tiles_total if self.tiles_total else 0.0
+
+
+@dataclass(eq=False)
+class ServeResult:
+    """A completed job's frame plus its serving-side accounting.
+
+    ``queue_wait_s`` spans submission to the first tile starting (bundle
+    build included), ``service_s`` is the rendering + build time actually
+    spent on the job, ``latency_s`` spans submission to completion.
+    """
+
+    job_id: str
+    scene: str
+    pipeline: str
+    camera_index: int
+    image: np.ndarray
+    psnr: Optional[float]
+    stats: RenderStats
+    num_tiles: int
+    queue_wait_s: float
+    service_s: float
+    latency_s: float
+    bundle_cached: bool
+    memory_bytes: int
+
+
+class RenderServer:
+    """Serves render jobs for many scenes and pipelines from one store.
+
+    Parameters
+    ----------
+    store:
+        The :class:`SceneStore` providing ``(scene, field, engine)`` bundles.
+    max_pending:
+        Admission limit on jobs that are queued or running; submissions over
+        it are rejected (``None`` = unbounded).
+    default_tile_size:
+        Tile size when a submission does not pick one.  ``None`` falls back
+        to the bundle engine's configured ray chunk size, which keeps served
+        frames bit-identical to that engine's direct ``render_image``.
+    max_finished_jobs:
+        Retention bound on finished jobs (done, rejected, expired, failed):
+        once exceeded, the oldest-finished jobs — frames included — are
+        forgotten and their ids no longer poll.  Long-running servers would
+        otherwise pin every frame ever rendered (``None`` = keep forever).
+    clock:
+        Monotonic time source (injectable for deterministic deadline tests).
+    """
+
+    def __init__(
+        self,
+        store: SceneStore,
+        max_pending: Optional[int] = None,
+        default_tile_size: Optional[int] = None,
+        max_finished_jobs: Optional[int] = 1024,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be at least 1, got {max_pending}")
+        if max_finished_jobs is not None and max_finished_jobs < 1:
+            raise ValueError(f"max_finished_jobs must be at least 1, got {max_finished_jobs}")
+        if default_tile_size is not None and default_tile_size < 1:
+            raise ValueError(f"default_tile_size must be at least 1, got {default_tile_size}")
+        self.store = store
+        self.max_pending = max_pending
+        self.default_tile_size = default_tile_size
+        self.max_finished_jobs = max_finished_jobs
+        self._clock = clock
+        self._jobs: Dict[str, _Job] = {}
+        self._queues: Dict[Priority, Deque[str]] = {p: deque() for p in Priority}
+        #: Ids still wanting worker time — submit/step touch this, never _jobs.
+        self._active: set = set()
+        #: Finished ids in completion order, oldest first (retention queue).
+        self._finished: Deque[str] = deque()
+        self.telemetry = Telemetry()
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Submission / inspection
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        scene: str,
+        pipeline: str = "spnerf",
+        camera_index: int = 0,
+        priority: Priority = Priority.NORMAL,
+        deadline_s: Optional[float] = None,
+        tile_size: Optional[int] = None,
+        transmittance_threshold: Optional[float] = None,
+        compare_to_reference: bool = False,
+    ) -> str:
+        """Enqueue one frame job and return its id (admission may reject it).
+
+        A rejected job is still registered — :meth:`poll` reports it as
+        ``REJECTED`` — so callers observe backpressure instead of an
+        exception mid-burst.
+        """
+        if tile_size is not None and tile_size < 1:
+            raise ValueError(f"tile_size must be at least 1, got {tile_size}")
+        self._seq += 1
+        admitted = self.max_pending is None or self.pending_count() < self.max_pending
+        job = _Job(
+            job_id=f"job-{self._seq:05d}",
+            scene=scene,
+            pipeline=pipeline,
+            camera_index=camera_index,
+            priority=Priority(priority),
+            deadline_s=deadline_s,
+            tile_size=tile_size,
+            transmittance_threshold=transmittance_threshold,
+            compare_to_reference=compare_to_reference,
+            submitted_at=self._clock(),
+        )
+        self._jobs[job.job_id] = job
+        self.telemetry.submitted += 1
+        if admitted:
+            self._active.add(job.job_id)
+            self._queues[job.priority].append(job.job_id)
+        else:
+            job.state = JobState.REJECTED
+            job.finished_at = job.submitted_at
+            self.telemetry.rejected += 1
+            self._retire(job)
+        return job.job_id
+
+    def poll(self, job_id: str) -> JobView:
+        """The current externally visible state of one job."""
+        job = self._job(job_id)
+        return JobView(
+            job_id=job.job_id,
+            state=job.state,
+            scene=job.scene,
+            pipeline=job.pipeline,
+            camera_index=job.camera_index,
+            priority=job.priority,
+            tiles_total=len(job.tiles),
+            tiles_done=job.next_tile,
+            age_s=(job.finished_at if job.finished_at is not None else self._clock())
+            - job.submitted_at,
+            error=job.error,
+        )
+
+    def result(self, job_id: str) -> ServeResult:
+        """The finished frame of a ``DONE`` job (raises for any other state)."""
+        job = self._job(job_id)
+        if job.state is not JobState.DONE:
+            detail = f": {job.error}" if job.error else ""
+            raise RuntimeError(f"job {job_id} is {job.state.value}, not done{detail}")
+        assert job.result is not None
+        return job.result
+
+    def pending_count(self) -> int:
+        """Jobs currently queued or mid-render."""
+        return len(self._active)
+
+    def has_pending(self) -> bool:
+        return self.pending_count() > 0
+
+    def stats(self) -> ServerStats:
+        """One :class:`ServerStats` snapshot (telemetry + store + queues)."""
+        return self.telemetry.snapshot(
+            queue_depth=self.pending_count(), store_stats=self.store.stats()
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Render exactly one tile of the next scheduled job.
+
+        Returns ``False`` when no active job remains (the server is idle).
+        Deadline expiry happens here, at scheduling points — a tile already
+        rendering is never aborted mid-flight.
+        """
+        self._expire_overdue()
+        job = self._next_job()
+        if job is None:
+            return False
+        try:
+            self._advance(job)
+        except Exception as exc:  # noqa: BLE001 - a bad job must not kill the server
+            self._fail(job, exc)
+        return True
+
+    def run_until_idle(self, max_steps: Optional[int] = None) -> int:
+        """Pump :meth:`step` until idle (or ``max_steps``); returns steps run."""
+        steps = 0
+        while (max_steps is None or steps < max_steps) and self.step():
+            steps += 1
+        return steps
+
+    # ------------------------------------------------------------------
+    def _job(self, job_id: str) -> _Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise KeyError(f"unknown job id {job_id!r} (never submitted, or retired "
+                           f"past the max_finished_jobs retention bound)") from None
+
+    def _retire(self, job: _Job) -> None:
+        """Record a terminal transition and trim retention of finished jobs."""
+        self._active.discard(job.job_id)
+        # Everything the result needs was copied out of the bundle; keeping
+        # the reference would pin store-evicted bundles (scene + field +
+        # engine) for up to max_finished_jobs completions past the budget.
+        job.record = None
+        self._finished.append(job.job_id)
+        if self.max_finished_jobs is not None:
+            while len(self._finished) > self.max_finished_jobs:
+                self._jobs.pop(self._finished.popleft(), None)
+
+    def _expire_overdue(self) -> None:
+        now = self._clock()
+        for job_id in list(self._active):
+            job = self._jobs[job_id]
+            if job.deadline_s is not None and now - job.submitted_at > job.deadline_s:
+                job.state = JobState.EXPIRED
+                job.finished_at = now
+                job.tile_images = []  # partial shards are dead weight now
+                self.telemetry.expired += 1
+                self._retire(job)
+
+    def _next_job(self) -> Optional[_Job]:
+        """Round-robin pop of the next runnable job, HIGH queue first."""
+        for priority in Priority:
+            queue = self._queues[priority]
+            while queue:
+                job = self._jobs.get(queue.popleft())
+                if job is not None and job.state in _ACTIVE_STATES:
+                    return job
+                # Expired/failed (possibly retention-dropped) entries are
+                # purged lazily right here.
+        return None
+
+    def _advance(self, job: _Job) -> None:
+        """Run one tile of ``job`` and requeue or finalize it."""
+        if job.state is JobState.QUEUED:
+            self._start(job)
+        assert job.record is not None
+        tile = job.tiles[job.next_tile]
+        request = RenderRequest(
+            camera_indices=(tile.camera_index,),
+            pixel_indices=tile.pixel_indices(),
+            transmittance_threshold=job.transmittance_threshold,
+        )
+        start = time.perf_counter()
+        rendered = job.record.engine.render(request)
+        service = time.perf_counter() - start
+        job.tile_images.append(rendered.image)
+        job.stats.merge(rendered.stats)
+        job.service_s += service
+        job.next_tile += 1
+        self.telemetry.record_tile(rendered.stats, service)
+        if job.next_tile >= len(job.tiles):
+            self._finalize(job)
+        else:
+            self._queues[job.priority].append(job.job_id)
+
+    def _start(self, job: _Job) -> None:
+        """First scheduling of a job: acquire the bundle and plan its tiles."""
+        job.state = JobState.RUNNING
+        misses_before = self.store.stats().misses
+        build_start = time.perf_counter()
+        record = self.store.get(job.scene, job.pipeline)
+        build_elapsed = time.perf_counter() - build_start
+        job.record = record
+        job.bundle_cached = self.store.stats().misses == misses_before
+        if not job.bundle_cached:
+            job.service_s += build_elapsed
+            self.telemetry.record_build(build_elapsed)
+        camera = record.scene.cameras[job.camera_index]
+        tile_size = (
+            job.tile_size
+            or self.default_tile_size
+            or record.engine.config.chunk_size
+        )
+        job.tiles = plan_tiles(camera.num_pixels, tile_size, camera_index=job.camera_index)
+        job.started_at = self._clock()
+
+    def _finalize(self, job: _Job) -> None:
+        record = job.record
+        assert record is not None
+        camera = record.scene.cameras[job.camera_index]
+        image = assemble_tiles(job.tiles, job.tile_images, (camera.height, camera.width))
+        quality = None
+        if job.compare_to_reference:
+            quality = float(compute_psnr(image, record.scene.reference_image(job.camera_index)))
+        job.state = JobState.DONE
+        job.finished_at = self._clock()
+        started = job.started_at if job.started_at is not None else job.finished_at
+        queue_wait = started - job.submitted_at
+        latency = job.finished_at - job.submitted_at
+        job.result = ServeResult(
+            job_id=job.job_id,
+            scene=job.scene,
+            pipeline=job.pipeline,
+            camera_index=job.camera_index,
+            image=image,
+            psnr=quality,
+            stats=job.stats,
+            num_tiles=len(job.tiles),
+            queue_wait_s=queue_wait,
+            service_s=job.service_s,
+            latency_s=latency,
+            bundle_cached=job.bundle_cached,
+            memory_bytes=record.memory_bytes,
+        )
+        job.tile_images = []  # the assembled frame supersedes the shards
+        self.telemetry.record_completion(latency, queue_wait)
+        self._retire(job)
+
+    def _fail(self, job: _Job, exc: Exception) -> None:
+        job.state = JobState.FAILED
+        job.finished_at = self._clock()
+        job.error = f"{type(exc).__name__}: {exc}"
+        job.tile_images = []
+        self.telemetry.failed += 1
+        self._retire(job)

@@ -1,0 +1,224 @@
+"""Multi-scene residency: the :class:`SceneStore`.
+
+A server answering requests for many scenes cannot afford to rebuild a
+pipeline per request (scene generation, VQRF k-means and SpNeRF preprocessing
+dominate any single frame), nor to keep every pipeline of every scene resident
+(a dense reference grid alone is tens of MB).  The store resolves the tension
+with a classic cache: each ``(scene_name, pipeline)`` key maps to a fully
+built :class:`SceneBundleRecord` — scene, radiance field and ready-to-use
+:class:`~repro.api.RenderEngine` — built lazily through the registry
+(:func:`repro.api.build_field`) and evicted least-recently-used when the sum
+of the fields' ``memory_report()["total"]`` exceeds a configurable budget.
+
+Scenes themselves are shared across the pipelines rendering them, so the
+``spnerf`` and ``vqrf`` entries of one scene reuse a single scene object (and
+with it the per-scene VQRF-model cache: one k-means run feeds both).  When
+the last resident pipeline of a scene is evicted, the scene — and every
+compressed model cached on it — is dropped too.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.api import PipelineConfig, RenderEngine, build_field
+from repro.core.config import SpNeRFConfig
+from repro.datasets.synthetic import SyntheticScene, load_scene
+
+__all__ = ["SceneBundleRecord", "SceneStoreStats", "SceneStore"]
+
+#: A ``(scene_name, pipeline)`` residency key.
+StoreKey = Tuple[str, str]
+
+
+@dataclass(eq=False)
+class SceneBundleRecord:
+    """One resident ``(scene, field, engine)`` bundle plus its accounting."""
+
+    key: StoreKey
+    scene: SyntheticScene
+    field: object
+    engine: RenderEngine
+    memory_bytes: int
+    build_time_s: float
+    uses: int = 0
+
+    @property
+    def scene_name(self) -> str:
+        return self.key[0]
+
+    @property
+    def pipeline(self) -> str:
+        return self.key[1]
+
+
+@dataclass
+class SceneStoreStats:
+    """Counters the telemetry layer folds into :class:`ServerStats`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    build_time_s: float = 0.0
+    resident_entries: int = 0
+    resident_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from residency (1.0 when no lookups)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 1.0
+
+
+class SceneStore:
+    """LRU cache of built ``(scene, field, engine)`` bundles under a budget.
+
+    Parameters
+    ----------
+    memory_budget_bytes:
+        Upper bound on the summed ``memory_report()["total"]`` of resident
+        fields.  ``None`` disables byte-based eviction.  The most recently
+        requested bundle is never evicted, so a single bundle larger than the
+        budget is still served (the store then holds exactly that one).
+    max_entries:
+        Upper bound on the number of resident bundles (``None`` = unbounded).
+    config:
+        :class:`PipelineConfig` (or bare :class:`SpNeRFConfig`) every bundle
+        is built with — the store serves one uniform configuration.
+    loader:
+        ``scene_name -> SyntheticScene`` used on scene misses.  Defaults to
+        :func:`repro.api.load_scene` with ``scene_kwargs``; tests and
+        benchmarks inject cheap prebuilt scenes here.
+    scene_kwargs:
+        Keyword arguments for the default loader (resolution, image_size,
+        num_views, num_samples, ...).
+    """
+
+    def __init__(
+        self,
+        memory_budget_bytes: Optional[int] = None,
+        max_entries: Optional[int] = None,
+        config: Union[PipelineConfig, SpNeRFConfig, None] = None,
+        loader: Optional[Callable[[str], SyntheticScene]] = None,
+        scene_kwargs: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if memory_budget_bytes is not None and memory_budget_bytes <= 0:
+            raise ValueError(f"memory_budget_bytes must be positive, got {memory_budget_bytes}")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be at least 1, got {max_entries}")
+        self.memory_budget_bytes = memory_budget_bytes
+        self.max_entries = max_entries
+        self.config = PipelineConfig.coerce(config)
+        self._scene_kwargs = dict(scene_kwargs or {})
+        self._loader = loader
+        self._entries: "OrderedDict[StoreKey, SceneBundleRecord]" = OrderedDict()
+        self._scenes: Dict[str, SyntheticScene] = {}
+        self._stats = SceneStoreStats()
+
+    # ------------------------------------------------------------------
+    def get(self, scene_name: str, pipeline: str) -> SceneBundleRecord:
+        """The resident bundle for ``(scene_name, pipeline)``, built on miss.
+
+        A hit refreshes the entry's LRU position; a miss loads the scene (or
+        reuses the one already resident for another pipeline), builds the
+        field through the registry, wraps it in an engine, and evicts
+        least-recently-used bundles until budget and entry limits hold again.
+        """
+        key = (scene_name, pipeline)
+        record = self._entries.get(key)
+        if record is not None:
+            self._entries.move_to_end(key)
+            self._stats.hits += 1
+            record.uses += 1
+            return record
+
+        self._stats.misses += 1
+        start = time.perf_counter()
+        scene = self._scenes.get(scene_name)
+        if scene is None:
+            scene = self._load_scene(scene_name)
+            self._scenes[scene_name] = scene
+        try:
+            built = build_field(pipeline, scene, self.config)
+        except Exception:
+            # A failed build must not pin the scene: without a resident entry
+            # owning it, nothing would ever evict it (it is invisible to the
+            # memory budget, which only sums entries).
+            if not any(k[0] == scene_name for k in self._entries):
+                self._scenes.pop(scene_name, None)
+            raise
+        engine = RenderEngine(built, scene)
+        elapsed = time.perf_counter() - start
+        memory = built.memory_report().get("total", 0) if hasattr(built, "memory_report") else 0
+        record = SceneBundleRecord(
+            key=key,
+            scene=scene,
+            field=built,
+            engine=engine,
+            memory_bytes=int(memory),
+            build_time_s=elapsed,
+            uses=1,
+        )
+        self._entries[key] = record
+        self._stats.build_time_s += elapsed
+        self._evict_to_fit()
+        return record
+
+    # ------------------------------------------------------------------
+    def _load_scene(self, scene_name: str) -> SyntheticScene:
+        if self._loader is not None:
+            return self._loader(scene_name)
+        return load_scene(scene_name, **self._scene_kwargs)
+
+    def _evict_to_fit(self) -> None:
+        """Evict LRU entries until both limits hold (never the newest one)."""
+        while len(self._entries) > 1 and (
+            (self.max_entries is not None and len(self._entries) > self.max_entries)
+            or (
+                self.memory_budget_bytes is not None
+                and self.resident_bytes() > self.memory_budget_bytes
+            )
+        ):
+            key, _ = next(iter(self._entries.items()))
+            self.evict(key)
+
+    # ------------------------------------------------------------------
+    def evict(self, key: StoreKey) -> bool:
+        """Drop one bundle (and its scene, when no other pipeline uses it)."""
+        record = self._entries.pop(key, None)
+        if record is None:
+            return False
+        self._stats.evictions += 1
+        scene_name = key[0]
+        if not any(k[0] == scene_name for k in self._entries):
+            self._scenes.pop(scene_name, None)
+        return True
+
+    def clear(self) -> None:
+        """Drop every resident bundle and scene (counted as evictions)."""
+        for key in list(self._entries):
+            self.evict(key)
+
+    # ------------------------------------------------------------------
+    def contains(self, scene_name: str, pipeline: str) -> bool:
+        return (scene_name, pipeline) in self._entries
+
+    def resident_keys(self) -> Tuple[StoreKey, ...]:
+        """Resident keys in LRU order (least recently used first)."""
+        return tuple(self._entries)
+
+    def resident_bytes(self) -> int:
+        return sum(record.memory_bytes for record in self._entries.values())
+
+    def stats(self) -> SceneStoreStats:
+        """A snapshot of the store counters (copy — safe to keep)."""
+        snapshot = SceneStoreStats(**{
+            f: getattr(self._stats, f)
+            for f in ("hits", "misses", "evictions", "build_time_s")
+        })
+        snapshot.resident_entries = len(self._entries)
+        snapshot.resident_bytes = self.resident_bytes()
+        return snapshot

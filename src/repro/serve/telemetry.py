@@ -1,0 +1,132 @@
+"""Serving observability: per-job recordings and :class:`ServerStats`.
+
+The server records one observation per finished job (completed, rejected,
+expired or failed) plus per-tile service counters; :meth:`Telemetry.snapshot`
+folds them, together with the scene store's counters, into a single
+:class:`ServerStats` — the flat object `benchmarks/perf_serve.py` serialises
+into ``BENCH_serve.json`` and operators would scrape in production.
+
+Latency is split the way queueing systems are debugged: ``queue_wait`` (from
+submission to the first tile starting, including any bundle build) and
+``latency`` (submission to completion).  Percentiles use the standard linear
+interpolation of :func:`numpy.percentile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nerf.renderer import RenderStats
+from repro.serve.store import SceneStoreStats
+
+__all__ = ["ServerStats", "Telemetry", "percentile"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` (``nan`` when empty)."""
+    if not values:
+        return float("nan")
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+@dataclass
+class ServerStats:
+    """One flat snapshot of a :class:`~repro.serve.server.RenderServer`.
+
+    Counters cover the server's whole lifetime; queue depth and residency
+    describe the instant the snapshot was taken.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    expired: int = 0
+    failed: int = 0
+    queue_depth: int = 0
+    tiles_rendered: int = 0
+    num_rays: int = 0
+    busy_s: float = 0.0
+    throughput_rays_per_s: float = 0.0
+    latency_p50_s: float = float("nan")
+    latency_p95_s: float = float("nan")
+    queue_wait_p50_s: float = float("nan")
+    queue_wait_p95_s: float = float("nan")
+    vertex_reuse_ratio: float = 1.0
+    store_hits: int = 0
+    store_misses: int = 0
+    store_hit_rate: float = 1.0
+    store_evictions: int = 0
+    resident_bundles: int = 0
+    resident_bytes: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-ready flat mapping (what ``BENCH_serve.json`` stores)."""
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+
+@dataclass
+class Telemetry:
+    """Accumulates per-tile and per-job observations for :class:`ServerStats`."""
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    expired: int = 0
+    failed: int = 0
+    tiles_rendered: int = 0
+    busy_s: float = 0.0
+    render_stats: RenderStats = field(default_factory=RenderStats)
+    latencies_s: List[float] = field(default_factory=list)
+    queue_waits_s: List[float] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def record_tile(self, stats: RenderStats, service_s: float) -> None:
+        """Fold one rendered tile's counters and service time in."""
+        self.tiles_rendered += 1
+        self.busy_s += service_s
+        self.render_stats.merge(stats)
+
+    def record_build(self, build_s: float) -> None:
+        """Bundle construction is service time too (it blocks the worker)."""
+        self.busy_s += build_s
+
+    def record_completion(self, latency_s: float, queue_wait_s: float) -> None:
+        self.completed += 1
+        self.latencies_s.append(latency_s)
+        self.queue_waits_s.append(queue_wait_s)
+
+    # ------------------------------------------------------------------
+    def snapshot(
+        self, queue_depth: int, store_stats: Optional[SceneStoreStats] = None
+    ) -> ServerStats:
+        """Aggregate everything recorded so far into one :class:`ServerStats`."""
+        stats = ServerStats(
+            submitted=self.submitted,
+            completed=self.completed,
+            rejected=self.rejected,
+            expired=self.expired,
+            failed=self.failed,
+            queue_depth=queue_depth,
+            tiles_rendered=self.tiles_rendered,
+            num_rays=self.render_stats.num_rays,
+            busy_s=self.busy_s,
+            throughput_rays_per_s=(
+                self.render_stats.num_rays / self.busy_s if self.busy_s > 0 else 0.0
+            ),
+            latency_p50_s=percentile(self.latencies_s, 50),
+            latency_p95_s=percentile(self.latencies_s, 95),
+            queue_wait_p50_s=percentile(self.queue_waits_s, 50),
+            queue_wait_p95_s=percentile(self.queue_waits_s, 95),
+            vertex_reuse_ratio=self.render_stats.vertex_reuse_ratio,
+        )
+        if store_stats is not None:
+            stats.store_hits = store_stats.hits
+            stats.store_misses = store_stats.misses
+            stats.store_hit_rate = store_stats.hit_rate
+            stats.store_evictions = store_stats.evictions
+            stats.resident_bundles = store_stats.resident_entries
+            stats.resident_bytes = store_stats.resident_bytes
+        return stats

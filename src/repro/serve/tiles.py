@@ -1,0 +1,91 @@
+"""Frame sharding: pixel tiles that recompose bit-identically.
+
+Large frames must not head-of-line-block small requests, so the server never
+renders a frame in one engine call: it shards each view into contiguous
+pixel-tile jobs and interleaves tiles from different requests.
+
+The tile geometry is chosen for *bit-identity*, not locality.  The renderer's
+float32 MLP hits different BLAS kernels at different batch sizes, so an image
+is bitwise reproducible only when the per-call ray batches are identical.
+:meth:`VolumetricRenderer.render_image` partitions a frame's rays into
+contiguous ``chunk_size`` runs, and ``render_pixels`` evaluates a requested
+pixel subset as a single batch — therefore contiguous tiles of size ``T``
+produce exactly the ray batches of a whole-frame render with
+``chunk_size=T``, and the assembled frame is bit-identical to it.  2-D
+rectangular tiles would *not* be (they regroup the batches), which is why the
+planner shards in flat row-major runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Tile", "plan_tiles", "assemble_tiles"]
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One contiguous run of flat (row-major) pixel indices of one view."""
+
+    camera_index: int
+    start: int
+    stop: int
+
+    @property
+    def num_pixels(self) -> int:
+        return self.stop - self.start
+
+    def pixel_indices(self) -> np.ndarray:
+        """The flat pixel indices this tile renders."""
+        return np.arange(self.start, self.stop, dtype=np.int64)
+
+
+def plan_tiles(num_pixels: int, tile_size: int, camera_index: int = 0) -> List[Tile]:
+    """Partition a view's ``num_pixels`` into contiguous tiles of ``tile_size``.
+
+    The partition is exactly the ray-chunk partition of a whole-frame render
+    with ``chunk_size=tile_size`` (the last tile holds the remainder), which
+    is what makes tile-sharded serving bit-identical to direct rendering —
+    see the module docstring.
+    """
+    if num_pixels <= 0:
+        raise ValueError(f"num_pixels must be positive, got {num_pixels}")
+    if tile_size <= 0:
+        raise ValueError(f"tile_size must be positive, got {tile_size}")
+    return [
+        Tile(camera_index=camera_index, start=start, stop=min(start + tile_size, num_pixels))
+        for start in range(0, num_pixels, tile_size)
+    ]
+
+
+def assemble_tiles(
+    tiles: Sequence[Tile],
+    tile_images: Sequence[np.ndarray],
+    image_shape: Tuple[int, int],
+) -> np.ndarray:
+    """Recompose per-tile ``(P, 3)`` colors into one ``(H, W, 3)`` frame.
+
+    The tiles must cover every pixel of the frame exactly once (the planner
+    guarantees this; partial covers raise so a lost tile job cannot silently
+    produce a frame with black holes).
+    """
+    height, width = image_shape
+    total = height * width
+    flat = np.empty((total, 3), dtype=np.float64)
+    covered = np.zeros(total, dtype=bool)
+    for tile, image in zip(tiles, tile_images):
+        image = np.asarray(image)
+        if image.shape != (tile.num_pixels, 3):
+            raise ValueError(
+                f"tile [{tile.start}:{tile.stop}) expects a ({tile.num_pixels}, 3) "
+                f"image, got {image.shape}"
+            )
+        flat[tile.start:tile.stop] = image
+        covered[tile.start:tile.stop] = True
+    if not covered.all():
+        missing = int((~covered).sum())
+        raise ValueError(f"tiles cover {total - missing}/{total} pixels; frame incomplete")
+    return flat.reshape(height, width, 3)

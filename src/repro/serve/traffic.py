@@ -1,0 +1,184 @@
+"""Synthetic serving workloads and replay harnesses.
+
+Two canonical load shapes drive the serve benchmark:
+
+* **Open loop** — requests arrive on a Poisson process at a fixed rate,
+  independent of how fast the server drains them.  This is what exposes
+  queueing behaviour: latency percentiles grow without bound once the
+  arrival rate crosses the service rate.
+* **Closed loop** — a fixed set of clients each keep one request in flight,
+  submitting the next the moment the previous completes.  This measures the
+  server's sustainable throughput without unbounded queue growth.
+
+Both replayers pump the cooperative :meth:`RenderServer.step` loop
+themselves, so a benchmark is one ordinary function call — no threads, no
+event loop, reproducible schedules.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.serve.server import JobState, Priority, RenderServer
+
+__all__ = [
+    "TrafficItem",
+    "poisson_workload",
+    "closed_loop_workload",
+    "replay_open_loop",
+    "replay_closed_loop",
+]
+
+#: Terminal job states (nothing left to wait for).
+_FINISHED = (JobState.DONE, JobState.REJECTED, JobState.EXPIRED, JobState.FAILED)
+
+
+@dataclass(frozen=True)
+class TrafficItem:
+    """One request of a synthetic workload."""
+
+    arrival_s: float
+    scene: str
+    pipeline: str
+    camera_index: int = 0
+    priority: Priority = Priority.NORMAL
+    deadline_s: Optional[float] = None
+
+
+def _mix(scenes: Sequence[str], pipelines: Sequence[str]) -> List[tuple]:
+    if not scenes or not pipelines:
+        raise ValueError("need at least one scene and one pipeline")
+    return list(itertools.product(scenes, pipelines))
+
+
+def poisson_workload(
+    scenes: Sequence[str],
+    pipelines: Sequence[str],
+    rate_hz: float,
+    duration_s: float,
+    seed: int = 0,
+    high_priority_fraction: float = 0.0,
+    deadline_s: Optional[float] = None,
+) -> List[TrafficItem]:
+    """An open-loop Poisson arrival trace over the scene x pipeline mix.
+
+    Inter-arrival gaps are exponential with mean ``1/rate_hz``; the scene and
+    pipeline of each request are drawn uniformly from the cross product, and
+    a ``high_priority_fraction`` of requests is marked ``Priority.HIGH``.
+    Deterministic in ``seed``.
+    """
+    if rate_hz <= 0:
+        raise ValueError(f"rate_hz must be positive, got {rate_hz}")
+    mix = _mix(scenes, pipelines)
+    rng = np.random.default_rng(seed)
+    items: List[TrafficItem] = []
+    now = 0.0
+    while True:
+        now += float(rng.exponential(1.0 / rate_hz))
+        if now >= duration_s:
+            break
+        scene, pipeline = mix[int(rng.integers(len(mix)))]
+        priority = (
+            Priority.HIGH if rng.random() < high_priority_fraction else Priority.NORMAL
+        )
+        items.append(
+            TrafficItem(
+                arrival_s=now,
+                scene=scene,
+                pipeline=pipeline,
+                priority=priority,
+                deadline_s=deadline_s,
+            )
+        )
+    return items
+
+
+def closed_loop_workload(
+    scenes: Sequence[str],
+    pipelines: Sequence[str],
+    num_requests: int,
+    seed: int = 0,
+) -> List[TrafficItem]:
+    """A closed-loop request list (arrival times zero — clients re-submit).
+
+    Requests cycle through the scene x pipeline mix in a deterministically
+    shuffled order per cycle, so consecutive requests alternate bundles
+    (exercising the store rather than hammering one resident entry) and
+    every pair is covered once ``num_requests >= len(scenes) * len(pipelines)``.
+    """
+    if num_requests < 1:
+        raise ValueError(f"num_requests must be at least 1, got {num_requests}")
+    mix = _mix(scenes, pipelines)
+    rng = np.random.default_rng(seed)
+    picks: List[tuple] = []
+    while len(picks) < num_requests:
+        picks.extend(mix[i] for i in rng.permutation(len(mix)))
+    return [
+        TrafficItem(arrival_s=0.0, scene=scene, pipeline=pipeline)
+        for scene, pipeline in picks[:num_requests]
+    ]
+
+
+def _submit(server: RenderServer, item: TrafficItem) -> str:
+    return server.submit(
+        item.scene,
+        item.pipeline,
+        camera_index=item.camera_index,
+        priority=item.priority,
+        deadline_s=item.deadline_s,
+    )
+
+
+def replay_open_loop(server: RenderServer, items: Sequence[TrafficItem]) -> List[str]:
+    """Replay a timed trace against the server in real time.
+
+    Requests are submitted when their wall-clock arrival time passes; between
+    arrivals the server renders tiles.  Returns every job id, in submission
+    order, after the server has drained completely.
+    """
+    items = sorted(items, key=lambda item: item.arrival_s)
+    job_ids: List[str] = []
+    start = time.perf_counter()
+    next_item = 0
+    while next_item < len(items) or server.has_pending():
+        now = time.perf_counter() - start
+        while next_item < len(items) and items[next_item].arrival_s <= now:
+            job_ids.append(_submit(server, items[next_item]))
+            next_item += 1
+        if not server.step() and next_item < len(items):
+            # Idle before the next arrival: sleep up to it (capped so a
+            # coarse OS timer cannot overshoot a burst of close arrivals).
+            time.sleep(min(0.002, max(0.0, items[next_item].arrival_s - now)))
+    return job_ids
+
+
+def replay_closed_loop(
+    server: RenderServer, items: Sequence[TrafficItem], concurrency: int = 2
+) -> List[str]:
+    """Replay requests keeping ``concurrency`` jobs in flight until done.
+
+    Submission order follows ``items``; a new request is admitted whenever a
+    slot frees up, which is the classic closed-loop client pool.  Returns all
+    job ids after the server has drained.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be at least 1, got {concurrency}")
+    job_ids: List[str] = []
+    in_flight: List[str] = []
+    next_item = 0
+    while next_item < len(items) or in_flight:
+        while next_item < len(items) and len(in_flight) < concurrency:
+            job_id = _submit(server, items[next_item])
+            job_ids.append(job_id)
+            in_flight.append(job_id)
+            next_item += 1
+        server.step()
+        in_flight = [
+            job_id for job_id in in_flight if server.poll(job_id).state not in _FINISHED
+        ]
+    return job_ids

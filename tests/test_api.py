@@ -310,3 +310,74 @@ def test_stats_reset_on_all_outside_query(pipeline, small_scene, spnerf_bundle):
     assert field.stats.num_samples == 3
     assert field.stats.num_active_samples == 0
     assert field.stats.num_vertex_lookups == 0
+
+
+# ----------------------------------------------------------------------
+# Request-level overrides and kwargs validation (serve-PR satellites)
+# ----------------------------------------------------------------------
+
+def test_render_rejects_unknown_kwargs(small_scene):
+    engine = RenderEngine(build_field("dense", small_scene))
+    with pytest.raises(TypeError, match=r"camera_index.*camera_indices"):
+        engine.render(camera_index=0)  # the classic singular/plural typo
+    with pytest.raises(TypeError, match="valid fields"):
+        engine.render_views((0,), chunksize=64)
+    with pytest.raises(TypeError, match="multiple values"):
+        # Unreachable through the dict merge: Python's binding rejects the
+        # positional/keyword collision before _make_request ever runs.
+        engine.render_views((0,), camera_indices=(1,))
+
+
+def test_request_chunk_size_overrides_engine_config(small_scene):
+    """The request's chunk_size must win over the engine's, bit-for-bit.
+
+    Renders are bitwise reproducible only at equal ray partitions, so the
+    override is proven by matching an engine configured with that chunk size
+    directly (and leaving the original engine config untouched).
+    """
+    field = build_field("dense", small_scene)
+    overridden = RenderEngine(field, chunk_size=33)
+    image = overridden.render(camera_indices=(0,), chunk_size=77).image
+    expected = RenderEngine(field, chunk_size=77).render(camera_indices=(0,)).image
+    assert np.array_equal(image, expected)
+    assert overridden.config.chunk_size == 33  # request override did not stick
+
+
+def test_request_transmittance_threshold_overrides_config(small_scene):
+    field = build_field("dense", small_scene)
+    engine = RenderEngine(field)  # config threshold 0.0: exhaustive
+    exhaustive = engine.render(camera_indices=(0,))
+    overridden = engine.render(camera_indices=(0,), transmittance_threshold=1e-3)
+    configured = RenderEngine(
+        field, config=small_scene.render_config.fast()
+    ).render(camera_indices=(0,))
+    # The override reproduces the fast-profile engine exactly and does fewer
+    # field queries than the exhaustive render it was derived from.
+    assert np.array_equal(overridden.image, configured.image)
+    assert overridden.stats.num_active_samples < exhaustive.stats.num_active_samples
+    assert engine.config.transmittance_threshold == 0.0
+
+
+def test_vqrf_cache_bounded_with_evictions():
+    from repro.api import set_vqrf_cache_limit, vqrf_cache_limit
+
+    scene = load_scene("drums", resolution=16, image_size=16, num_views=1, num_samples=8)
+    cfg = API_CONFIG.with_updates(codebook_size=8, kmeans_iterations=1)
+    previous = set_vqrf_cache_limit(2)
+    try:
+        reset_vqrf_cache_stats()
+        seeds = [build_bundle(scene, cfg.with_updates(seed=s)) for s in range(3)]
+        assert vqrf_cache_stats().evictions == 1  # seed=0 fell out (LRU)
+
+        # The survivors hit; the evicted seed=0 re-compresses.
+        assert build_bundle(scene, cfg.with_updates(seed=2)).vqrf_model is seeds[2].vqrf_model
+        assert vqrf_cache_stats().hits == 1
+        rebuilt = build_bundle(scene, cfg.with_updates(seed=0))
+        assert rebuilt.vqrf_model is not seeds[0].vqrf_model
+        assert vqrf_cache_stats().evictions == 2  # ... evicting seed=1 in turn
+
+        with pytest.raises(ValueError):
+            set_vqrf_cache_limit(0)
+        assert vqrf_cache_limit() == 2
+    finally:
+        set_vqrf_cache_limit(previous)
