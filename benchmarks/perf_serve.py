@@ -9,22 +9,32 @@ repo root, next to ``BENCH_render.json``:
 * **open loop** — Poisson arrivals at a fixed rate; measures queueing
   latency and queue-wait percentiles under uncoordinated traffic.
 
+Both loops run on the execution backend picked by ``--backend`` (serial,
+thread or process — see :mod:`repro.serve.backends`), and a **backend
+comparison** section replays the same closed-loop workload under the serial
+and process-pool backends on warmed stores, reporting the wall-clock
+throughput of each and the pool's speedup (guarded by
+``--min-pool-speedup``).
+
 Before any timing, one frame is rendered through the server (tile-sharded,
-scheduled) and compared bitwise against the same frame rendered directly by
-the bundle's :class:`~repro.api.RenderEngine` — the serve layer must be a
-scheduler, not a new renderer.  A mismatch fails the run.
+scheduled) under *every* backend and compared bitwise against the same frame
+rendered directly by the bundle's :class:`~repro.api.RenderEngine` — the
+serve layer must be a scheduler, not a new renderer, and a process worker's
+rebuilt bundle must render the very same bits.  A mismatch fails the run.
 
 Usage::
 
     python benchmarks/perf_serve.py --quick          # CI-sized smoke profile
     python benchmarks/perf_serve.py                  # full-sized run
-    python benchmarks/perf_serve.py --quick --min-store-hit-rate 0.5
+    python benchmarks/perf_serve.py --quick --backend process --workers 4
+    python benchmarks/perf_serve.py --quick --min-pool-speedup 1.5
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -37,10 +47,12 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.api import PipelineConfig, SpNeRFConfig  # noqa: E402  (path bootstrap above)
 from repro.serve import (  # noqa: E402
+    BACKEND_NAMES,
     RenderServer,
     SceneStore,
     ServeResult,
     closed_loop_workload,
+    make_backend,
     percentile,
     poisson_workload,
     replay_closed_loop,
@@ -69,6 +81,27 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--rate", type=float, default=None, help="open-loop arrival rate (Hz)")
     parser.add_argument("--duration", type=float, default=None, help="open-loop trace length (s)")
     parser.add_argument("--tile-size", type=int, default=None, help="server tile size override")
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="serial",
+        help="execution backend for the closed/open-loop sections",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="pool-backend worker count (default: auto)"
+    )
+    parser.add_argument(
+        "--skip-backend-comparison",
+        action="store_true",
+        help="skip the serial-vs-process closed-loop comparison section",
+    )
+    parser.add_argument(
+        "--min-pool-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail when the process pool's closed-loop throughput is below X times serial",
+    )
     parser.add_argument(
         "--memory-budget-mb", type=float, default=None, help="scene-store budget (MB)"
     )
@@ -107,8 +140,18 @@ def resolve_config(args: argparse.Namespace) -> dict:
     config["pipelines"] = [name.strip() for name in args.pipelines.split(",") if name.strip()]
     config["concurrency"] = args.concurrency
     config["tile_size"] = args.tile_size
+    config["backend"] = args.backend
+    config["workers"] = args.workers
     config["seed"] = args.seed
     config["quick"] = bool(args.quick)
+    # Pool speedups are bounded by the cores this process may actually use
+    # (affinity/cgroup masks included, so a quota-limited CI container counts
+    # as what it is): record them so a ~1x comparison on a 1-CPU host reads
+    # as physics, not as a regression.
+    try:
+        config["host_cpus"] = len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        config["host_cpus"] = os.cpu_count()
     return config
 
 
@@ -132,8 +175,10 @@ def make_store(config: dict, args: argparse.Namespace) -> SceneStore:
     )
 
 
-def check_bit_identity(store: SceneStore, config: dict) -> bool:
-    """A tile-sharded, scheduled frame must equal the direct engine render.
+def check_bit_identity(store: SceneStore, config: dict, workers: int = None) -> Dict[str, bool]:
+    """A tile-sharded, scheduled frame must equal the direct engine render —
+    under every execution backend, including process workers that rebuild
+    their bundles from scratch.
 
     Uses a deliberately odd tile size so the final partial tile is exercised;
     the direct render chunks its rays at the same size, which is the
@@ -142,14 +187,62 @@ def check_bit_identity(store: SceneStore, config: dict) -> bool:
     scene = config["scenes"][0]
     pipeline = config["pipelines"][-1]
     tile_size = 193
-    server = RenderServer(store)
-    job = server.submit(scene, pipeline, tile_size=tile_size)
-    server.run_until_idle()
-    served = server.result(job).image
     direct = store.get(scene, pipeline).engine.render(
         camera_indices=(0,), chunk_size=tile_size
     ).image
-    return bool(np.array_equal(served, direct))
+    identity = {}
+    for backend_name in BACKEND_NAMES:
+        with RenderServer(store, backend=make_backend(backend_name, workers)) as server:
+            job = server.submit(scene, pipeline, tile_size=tile_size)
+            server.run_until_idle()
+            served = server.result(job).image
+        identity[backend_name] = bool(np.array_equal(served, direct))
+    return identity
+
+
+def run_backend_comparison(store: SceneStore, config: dict, workers: int = None) -> dict:
+    """Replay one closed-loop workload under serial and process backends.
+
+    Both runs use warmed stores (one untimed job per scene x pipeline pair
+    first, which builds every worker shard's bundles), so the timed phase
+    compares steady-state rendering throughput, not build amortization.
+    Throughput is wall-clock rays/s — the number that actually improves when
+    workers render in parallel (the serial ``throughput_rays_per_s`` in
+    ``ServerStats`` is per *busy* second and cannot exceed one worker's).
+    """
+    scenes, pipelines = config["scenes"], config["pipelines"]
+    items = closed_loop_workload(scenes, pipelines, config["requests"], seed=config["seed"])
+    comparison = {}
+    for backend_name in ("serial", "process"):
+        backend = make_backend(backend_name, workers)
+        concurrency = max(config["concurrency"], 2 * backend.num_workers)
+        with RenderServer(
+            store, backend=backend, default_tile_size=config["tile_size"]
+        ) as server:
+            warmup = [server.submit(s, p) for s in scenes for p in pipelines]
+            server.run_until_idle()
+            assert all(server.poll(j).state.value == "done" for j in warmup)
+            start = time.perf_counter()
+            job_ids = replay_closed_loop(server, items, concurrency)
+            wall = time.perf_counter() - start
+            results = completed_results(server, job_ids)
+            rays = sum(r.stats.num_rays for r in results)
+            stats = server.stats()
+        comparison[backend_name] = {
+            "workers": backend.num_workers,
+            "concurrency": concurrency,
+            "wall_s": wall,
+            "completed": len(results),
+            "rays_per_wall_s": rays / wall if wall > 0 else 0.0,
+            "worker_utilization": stats.worker_utilization,
+            "ooo_completions": stats.ooo_completions,
+        }
+    serial_tput = comparison["serial"]["rays_per_wall_s"]
+    pool_tput = comparison["process"]["rays_per_wall_s"]
+    comparison["process_vs_serial_speedup"] = (
+        pool_tput / serial_tput if serial_tput > 0 else 0.0
+    )
+    return comparison
 
 
 def group_results(results: List[ServeResult]) -> Dict[str, dict]:
@@ -192,12 +285,17 @@ def run(args: argparse.Namespace) -> int:
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
     }
 
-    identical = check_bit_identity(store, config)
-    report["bit_identical_to_direct_render"] = identical
-    print(f"bit-identity vs direct engine render: {identical}")
+    identity = check_bit_identity(store, config, workers=args.workers)
+    report["bit_identical_to_direct_render"] = identity
+    identical = all(identity.values())
+    print(f"bit-identity vs direct engine render: {identity}")
 
     # Closed loop: fixed client pool, sustainable throughput.
-    closed_server = RenderServer(store, default_tile_size=config["tile_size"])
+    closed_server = RenderServer(
+        store,
+        backend=make_backend(config["backend"], args.workers),
+        default_tile_size=config["tile_size"],
+    )
     closed_items = closed_loop_workload(
         scenes, pipelines, config["requests"], seed=config["seed"]
     )
@@ -205,33 +303,53 @@ def run(args: argparse.Namespace) -> int:
     closed_ids = replay_closed_loop(closed_server, closed_items, config["concurrency"])
     closed_wall = time.perf_counter() - start
     closed_stats = closed_server.stats()
+    closed_server.close()
     closed = {
         "wall_s": closed_wall,
         "per_pipeline": group_results(completed_results(closed_server, closed_ids)),
         "server": closed_stats.as_dict(),
     }
     report["closed_loop"] = closed
-    print(f"closed loop: {closed_stats.completed}/{len(closed_ids)} jobs in "
-          f"{closed_wall:.2f}s  {closed_stats.throughput_rays_per_s:,.0f} rays/s  "
+    print(f"closed loop [{closed_stats.backend} x{closed_stats.num_workers}]: "
+          f"{closed_stats.completed}/{len(closed_ids)} jobs in "
+          f"{closed_wall:.2f}s  {closed_stats.throughput_rays_per_s:,.0f} rays/busy-s  "
           f"p50 {closed_stats.latency_p50_s:.3f}s  p95 {closed_stats.latency_p95_s:.3f}s")
 
     # Open loop: Poisson arrivals against the (now warm) store.
-    open_server = RenderServer(store, default_tile_size=config["tile_size"])
+    open_server = RenderServer(
+        store,
+        backend=make_backend(config["backend"], args.workers),
+        default_tile_size=config["tile_size"],
+    )
     open_items = poisson_workload(
         scenes, pipelines, rate_hz=config["rate_hz"], duration_s=config["duration_s"],
         seed=config["seed"], high_priority_fraction=0.25,
     )
     open_ids = replay_open_loop(open_server, open_items)
     open_stats = open_server.stats()
+    open_server.close()
     report["open_loop"] = {
         "num_arrivals": len(open_items),
         "per_pipeline": group_results(completed_results(open_server, open_ids)),
         "server": open_stats.as_dict(),
     }
-    print(f"open loop: {open_stats.completed}/{len(open_items)} jobs at "
+    print(f"open loop [{open_stats.backend} x{open_stats.num_workers}]: "
+          f"{open_stats.completed}/{len(open_items)} jobs at "
           f"{config['rate_hz']:.1f} Hz  p50 {open_stats.latency_p50_s:.3f}s  "
           f"p95 {open_stats.latency_p95_s:.3f}s  "
           f"queue-wait p95 {open_stats.queue_wait_p95_s:.3f}s")
+
+    # Backend comparison: the same closed-loop workload, serial vs process.
+    speedup = None
+    if not args.skip_backend_comparison:
+        comparison = run_backend_comparison(store, config, workers=args.workers)
+        report["backend_comparison"] = comparison
+        speedup = comparison["process_vs_serial_speedup"]
+        serial_part, pool_part = comparison["serial"], comparison["process"]
+        print(f"backend comparison: serial {serial_part['rays_per_wall_s']:,.0f} rays/s "
+              f"vs process[x{pool_part['workers']}] "
+              f"{pool_part['rays_per_wall_s']:,.0f} rays/s  "
+              f"speedup {speedup:.2f}x")
 
     store_stats = store.stats()
     report["store"] = {
@@ -249,7 +367,11 @@ def run(args: argparse.Namespace) -> int:
 
     failures = []
     if not identical:
-        failures.append("server-rendered frame is not bit-identical to the direct engine render")
+        broken = sorted(name for name, ok in identity.items() if not ok)
+        failures.append(
+            "server-rendered frame is not bit-identical to the direct engine "
+            f"render under backend(s): {', '.join(broken)}"
+        )
     expected_pairs = len(scenes) * len(pipelines)
     covered = len(report["closed_loop"]["per_pipeline"])
     if covered < expected_pairs:
@@ -261,8 +383,25 @@ def run(args: argparse.Namespace) -> int:
             f"store hit rate {store_stats.hit_rate:.2f} below required "
             f"{args.min_store_hit_rate:.2f}"
         )
+    if args.min_pool_speedup is not None:
+        if speedup is None:
+            failures.append(
+                "--min-pool-speedup was given but the backend comparison was skipped"
+            )
+        elif (config["host_cpus"] or 1) < 2:
+            # One core cannot express parallelism: a guarded ~1x here would
+            # flag physics, not a regression.  The measurement is still
+            # recorded; the guard just does not fire.
+            print(f"# min-pool-speedup guard skipped: host has "
+                  f"{config['host_cpus']} CPU (speedup {speedup:.2f}x recorded)")
+        elif speedup < args.min_pool_speedup:
+            failures.append(
+                f"process-pool speedup {speedup:.2f}x below required "
+                f"{args.min_pool_speedup:.2f}x"
+            )
     report["guards"] = {
         "min_store_hit_rate": args.min_store_hit_rate,
+        "min_pool_speedup": args.min_pool_speedup,
         "failures": failures,
     }
 

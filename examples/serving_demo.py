@@ -8,9 +8,10 @@ Shows the :mod:`repro.serve` subsystem end to end:
 2. submit a mixed batch of jobs: full frames across scenes and pipelines, a
    high-priority request that overtakes the queue, and a request with a
    deadline too tight to meet,
-3. pump the cooperative scheduler, watching tiles from different jobs
-   interleave, then read frames, PSNR and latency off the results and print
-   the server's telemetry snapshot.
+3. pump the scheduler over the chosen execution backend (``--backend
+   serial|thread|process``), streaming one job's tiles as they complete,
+   then read frames, PSNR and latency off the results and print the
+   server's telemetry snapshot (per-worker utilization included).
 
 Takes well under a minute on a laptop at the default sizes.
 """
@@ -20,7 +21,7 @@ from __future__ import annotations
 import argparse
 
 from repro.api import PipelineConfig, SpNeRFConfig
-from repro.serve import Priority, RenderServer, SceneStore
+from repro.serve import BACKEND_NAMES, JobState, Priority, RenderServer, SceneStore, make_backend
 
 
 def main() -> None:
@@ -29,6 +30,10 @@ def main() -> None:
     parser.add_argument("--image-size", type=int, default=56, help="rendered image side (pixels)")
     parser.add_argument("--budget-mb", type=float, default=24.0, help="scene-store budget (MB)")
     parser.add_argument("--tile-size", type=int, default=512, help="pixels per tile job")
+    parser.add_argument(
+        "--backend", choices=BACKEND_NAMES, default="serial", help="execution backend"
+    )
+    parser.add_argument("--workers", type=int, default=None, help="pool worker count")
     args = parser.parse_args()
 
     store = SceneStore(
@@ -41,7 +46,12 @@ def main() -> None:
             "num_views": 1, "num_samples": 64,
         },
     )
-    server = RenderServer(store, max_pending=16, default_tile_size=args.tile_size)
+    server = RenderServer(
+        store,
+        backend=make_backend(args.backend, args.workers),
+        max_pending=16,
+        default_tile_size=args.tile_size,
+    )
 
     print(f"Submitting a mixed batch (budget {args.budget_mb:.0f} MB, "
           f"tile {args.tile_size}px) ...")
@@ -56,8 +66,26 @@ def main() -> None:
         server.submit("drums", "spnerf", deadline_s=0.0),
     ]
 
-    steps = server.run_until_idle()
-    print(f"drained in {steps} tile steps\n")
+    # Stream the first job: watch its tiles land (possibly out of order
+    # under a pool backend) before the frame is whole.
+    streamed = jobs[0]
+    seen = set()
+    steps = 0
+    while server.poll(streamed).state in (JobState.QUEUED, JobState.RUNNING):
+        server.step()
+        steps += 1
+        view = server.poll(streamed, include_tiles=True)
+        # Track by tile start: under pool backends completions arrive out of
+        # order, so a positional slice would miss or repeat tiles.
+        for update in view.completed_tiles or ():
+            if update.tile.start not in seen:
+                seen.add(update.tile.start)
+                print(f"  stream {streamed}: "
+                      f"tile [{update.tile.start:5d}:{update.tile.stop:5d}) "
+                      f"({view.tiles_done}/{view.tiles_total} done)")
+
+    steps += server.run_until_idle()
+    print(f"drained in {steps} scheduler steps\n")
 
     print(f"{'job':10s} {'scene':8s} {'pipeline':8s} {'state':8s} "
           f"{'psnr':>6s} {'tiles':>5s} {'wait ms':>8s} {'latency ms':>10s}")
@@ -84,6 +112,10 @@ def main() -> None:
     print(f"  resident:                   {stats.resident_bundles} bundles, "
           f"{stats.resident_bytes / 1e6:.1f} MB")
     print(f"  vertex reuse:               {stats.vertex_reuse_ratio:.2f}x")
+    utilization = ", ".join(f"{u:.0%}" for u in stats.worker_utilization)
+    print(f"  backend:                    {stats.backend} x{stats.num_workers} "
+          f"(utilization {utilization}; {stats.ooo_completions} out-of-order tiles)")
+    server.close()
 
 
 if __name__ == "__main__":

@@ -30,7 +30,7 @@ facade; anything registered here is servable there.
 """
 
 from repro.api.config import PipelineConfig
-from repro.api.engine import RenderEngine, RenderRequest, RenderResult
+from repro.api.engine import RenderEngine, RenderRequest, RenderResult, render_tile
 from repro.api.protocol import RadianceField
 from repro.api.registry import (
     PipelineSpec,
@@ -90,6 +90,7 @@ __all__ = [
     "RenderRequest",
     "RenderResult",
     "RenderStats",
+    "render_tile",
     # convenience re-exports
     "SpNeRFBundle",
     "SyntheticScene",

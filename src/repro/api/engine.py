@@ -24,7 +24,7 @@ from repro.datasets.synthetic import SyntheticScene
 from repro.nerf.metrics import psnr
 from repro.nerf.renderer import RenderConfig, RenderStats, VolumetricRenderer
 
-__all__ = ["RenderRequest", "RenderResult", "RenderEngine"]
+__all__ = ["RenderRequest", "RenderResult", "RenderEngine", "render_tile"]
 
 
 @dataclass(eq=False)
@@ -153,6 +153,34 @@ class RenderResult:
             "vertex_reuse_ratio": self.stats.vertex_reuse_ratio,
             "memory_total_bytes": int(self.memory.get("total", 0)),
         }
+
+
+def render_tile(
+    engine: "RenderEngine",
+    camera_index: int,
+    start: int,
+    stop: int,
+    transmittance_threshold: Optional[float] = None,
+) -> RenderResult:
+    """Render one contiguous pixel run ``[start, stop)`` of one view.
+
+    This is the stateless execution entry point the serving layer's worker
+    backends call: a module-level function (picklable by reference, so worker
+    processes can import it) taking everything it needs as arguments and
+    touching no state beyond the engine it is handed.  The pixel run is
+    evaluated as a single ray batch — exactly the batch a whole-frame render
+    with ``chunk_size = stop - start`` would issue for these pixels — which
+    is what keeps tile-sharded serving bit-identical to direct rendering
+    regardless of which worker, thread or process executes the tile.
+    """
+    if not 0 <= start < stop:
+        raise ValueError(f"need 0 <= start < stop, got [{start}, {stop})")
+    request = RenderRequest(
+        camera_indices=(camera_index,),
+        pixel_indices=np.arange(start, stop, dtype=np.int64),
+        transmittance_threshold=transmittance_threshold,
+    )
+    return engine.render(request)
 
 
 class RenderEngine:

@@ -30,7 +30,7 @@ from repro.nerf.mlp import MLPSpec
 from repro.nerf.rays import generate_rays, ray_aabb_intersect, sample_along_rays
 from repro.nerf.volume_rendering import compute_weights, density_to_alpha
 
-__all__ = ["FrameWorkload", "workload_from_scene", "workload_from_render"]
+__all__ = ["FrameWorkload", "COST_METRICS", "workload_from_scene", "workload_from_render"]
 
 #: Frame geometry of the paper's evaluation (Synthetic-NeRF test images).
 PAPER_IMAGE_WIDTH = 800
@@ -41,6 +41,10 @@ DEFAULT_SAMPLES_PER_RAY = 192
 
 #: Transmittance threshold below which a ray terminates early.
 EARLY_TERMINATION_THRESHOLD = 1e-2
+
+#: Cost metrics :meth:`FrameWorkload.cost` understands (what the serving
+#: layer's cost-aware admission budgets in).
+COST_METRICS = ("total_samples", "mlp_flops")
 
 
 @dataclass
@@ -114,6 +118,23 @@ class FrameWorkload:
     @property
     def spnerf_model_bytes(self) -> int:
         return int(self.spnerf_memory.get("total", 0))
+
+    # ------------------------------------------------------------------
+    def cost(self, metric: str = "total_samples") -> float:
+        """One scalar cost of rendering this frame, in the chosen currency.
+
+        ``"total_samples"`` (all samples drawn, before culling) tracks the
+        sampling/decoding work a frame demands and is resolution x depth
+        linear — the right admission currency when the bottleneck is the
+        render loop.  ``"mlp_flops"`` weighs frames by their MLP evaluations
+        instead, which is what saturates first on MLP-bound deployments.
+        This is the estimate the serving layer budgets admission with.
+        """
+        if metric not in COST_METRICS:
+            raise ValueError(
+                f"unknown cost metric {metric!r}; choose from {', '.join(COST_METRICS)}"
+            )
+        return float(getattr(self, metric))
 
     # ------------------------------------------------------------------
     def scaled_to(self, width: int, height: int) -> "FrameWorkload":

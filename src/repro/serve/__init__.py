@@ -6,32 +6,59 @@ into a multi-tenant server:
 >>> from repro.serve import RenderServer, SceneStore
 >>> store = SceneStore(memory_budget_bytes=256_000_000,
 ...                    scene_kwargs={"resolution": 64, "image_size": 64})
->>> server = RenderServer(store, max_pending=32)
+>>> server = RenderServer(store, backend="process", max_pending=32)
 >>> job = server.submit("lego", "spnerf", priority=1)
 >>> server.run_until_idle()
 >>> server.result(job).image.shape
 (64, 64, 3)
 
-Five layers, one module each:
+Six layers, one module each:
 
 * :mod:`~repro.serve.store` — :class:`SceneStore`: lazily built
   ``(scene, field, engine)`` bundles per ``(scene_name, pipeline)``, LRU
   eviction under a memory budget measured by the fields' own
-  ``memory_report()``.
+  ``memory_report()``; picklable :class:`SceneStoreSpec` recipes so worker
+  processes rebuild shard-local stores with per-shard budgets.
 * :mod:`~repro.serve.tiles` — frame sharding into contiguous pixel tiles
   whose recomposition is bit-identical to a direct whole-frame render.
-* :mod:`~repro.serve.server` — :class:`RenderServer`: submit/poll/result,
-  priority + FIFO queues with per-tile round-robin, admission control and
-  deadlines.
+* :mod:`~repro.serve.backends` — where tiles execute:
+  :class:`SerialBackend` (deterministic, default),
+  :class:`ThreadPoolBackend` (shared store, GIL-bound), and
+  :class:`ProcessPoolBackend` (shared-nothing store shards, tiles routed by
+  ``(scene, pipeline)`` affinity — true parallelism).
+* :mod:`~repro.serve.server` — :class:`RenderServer`: a pure scheduler with
+  submit/poll/result, priority + FIFO queues with per-tile round-robin,
+  count- and cost-based admission (priced by the hardware layer's
+  :class:`~repro.hardware.workload.FrameWorkload`), deadlines, out-of-order
+  completion reassembly and streaming partial-frame delivery.
 * :mod:`~repro.serve.telemetry` — :class:`ServerStats` snapshots (latency
-  percentiles, throughput, cache hit rates, evictions, vertex reuse).
+  percentiles, throughput, cache hit rates, per-worker utilization,
+  out-of-order completions, vertex reuse).
 * :mod:`~repro.serve.traffic` — synthetic open-loop (Poisson) and
   closed-loop workloads plus replay harnesses; ``benchmarks/perf_serve.py``
   builds on them and writes ``BENCH_serve.json``.
 """
 
-from repro.serve.server import JobState, JobView, Priority, RenderServer, ServeResult
-from repro.serve.store import SceneBundleRecord, SceneStore, SceneStoreStats
+from repro.serve.backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    TileResult,
+    TileTask,
+    make_backend,
+)
+from repro.serve.server import (
+    OVER_COST_POLICIES,
+    JobState,
+    JobView,
+    Priority,
+    RenderServer,
+    ServeResult,
+    TileUpdate,
+)
+from repro.serve.store import SceneBundleRecord, SceneStore, SceneStoreSpec, SceneStoreStats
 from repro.serve.telemetry import ServerStats, Telemetry, percentile
 from repro.serve.tiles import Tile, assemble_tiles, plan_tiles
 from repro.serve.traffic import (
@@ -45,18 +72,30 @@ from repro.serve.traffic import (
 __all__ = [
     # store
     "SceneStore",
+    "SceneStoreSpec",
     "SceneBundleRecord",
     "SceneStoreStats",
     # tiles
     "Tile",
     "plan_tiles",
     "assemble_tiles",
+    # backends
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "TileTask",
+    "TileResult",
+    "BACKEND_NAMES",
+    "make_backend",
     # server
     "RenderServer",
     "Priority",
     "JobState",
     "JobView",
+    "TileUpdate",
     "ServeResult",
+    "OVER_COST_POLICIES",
     # telemetry
     "ServerStats",
     "Telemetry",

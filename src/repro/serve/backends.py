@@ -1,0 +1,498 @@
+"""Execution backends: where the server's tile jobs actually render.
+
+The :class:`~repro.serve.server.RenderServer` is a pure scheduler — it plans
+tiles, decides their order, and collects completions.  *Executing* a tile is
+this module's job, behind one small contract (:class:`ExecutionBackend`):
+``submit`` takes a picklable :class:`TileTask`, ``collect`` returns finished
+:class:`TileResult`\\ s, possibly out of submission order.  Three backends
+implement it:
+
+* :class:`SerialBackend` — renders on the scheduler's own thread at submit
+  time.  One tile in flight, results in order: exactly the deterministic
+  cooperative loop earlier revisions hard-wired into the server, and still
+  the default.
+* :class:`ThreadPoolBackend` — a pool of worker threads sharing the server's
+  :class:`~repro.serve.store.SceneStore` (bundle builds are serialized by a
+  lock).  The renderer is numpy/BLAS-bound, so threads overlap the fraction
+  of the work that releases the GIL; gains are modest and workload-dependent.
+* :class:`ProcessPoolBackend` — shared-nothing worker processes, each owning
+  its *own* store shard built from the parent store's picklable
+  :meth:`~repro.serve.store.SceneStore.spec` (bundles are rebuilt in the
+  worker, never pickled — scene generation, compression and preprocessing
+  are deterministic in the scene name and config, so a worker's bundle
+  renders bit-identical frames).  This is the backend that actually
+  parallelizes Python-heavy rendering.
+
+Tiles route to pool workers by ``(scene, pipeline)`` **affinity**: the first
+tile of a key picks the least-loaded worker and every later tile follows it.
+That keeps each bundle resident in exactly one shard (no duplicate builds,
+per-shard memory budgets add up to the operator's budget) and guarantees no
+two workers ever render the same engine concurrently — which is also what
+makes the thread backend safe, since engines and their fields keep per-render
+scratch state.
+
+Bit-identity holds across all three backends because a tile renders as a
+single contiguous ray batch (:func:`repro.api.render_tile`) regardless of
+who executes it; see :mod:`repro.serve.tiles` for why batch geometry is the
+only thing the bits depend on.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_lib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.api.engine import render_tile
+from repro.nerf.renderer import RenderStats
+from repro.serve.store import SceneStore
+
+__all__ = [
+    "TileTask",
+    "TileResult",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "BACKEND_NAMES",
+    "make_backend",
+]
+
+#: Default seconds a blocking :meth:`ExecutionBackend.collect` waits for one
+#: completion before returning empty-handed (keeping the scheduler's step
+#: loop responsive to new arrivals and deadline expiry).
+_COLLECT_BLOCK_S = 0.1
+
+
+@dataclass(frozen=True)
+class TileTask:
+    """One tile render, described in plain picklable values.
+
+    A task deliberately carries *names*, not objects: the executing worker
+    resolves ``(scene, pipeline)`` against its own store, which is what lets
+    a task cross a process boundary and still render the same bits.
+    """
+
+    job_id: str
+    tile_index: int
+    scene: str
+    pipeline: str
+    camera_index: int
+    start: int
+    stop: int
+    transmittance_threshold: Optional[float] = None
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """The ``(scene, pipeline)`` affinity key tiles route by."""
+        return (self.scene, self.pipeline)
+
+
+@dataclass(eq=False)
+class TileResult:
+    """One finished (or failed) tile, as reported back to the scheduler."""
+
+    job_id: str
+    tile_index: int
+    worker_id: int
+    image: Optional[np.ndarray] = None
+    stats: Optional[RenderStats] = None
+    service_s: float = 0.0
+    build_s: float = 0.0
+    bundle_cached: bool = True
+    memory_bytes: int = 0
+    error: Optional[str] = None
+
+
+def _execute_tile(store: SceneStore, task: TileTask, worker_id: int) -> TileResult:
+    """Render one task against ``store``, never raising: failures become
+    error results so a bad job cannot take a worker (or the server) down."""
+    try:
+        record, cached, build_s = store.get_accounted(task.scene, task.pipeline)
+        start = time.perf_counter()
+        rendered = render_tile(
+            record.engine,
+            task.camera_index,
+            task.start,
+            task.stop,
+            transmittance_threshold=task.transmittance_threshold,
+        )
+        service_s = time.perf_counter() - start
+        return TileResult(
+            job_id=task.job_id,
+            tile_index=task.tile_index,
+            worker_id=worker_id,
+            image=rendered.image,
+            stats=rendered.stats,
+            service_s=service_s,
+            build_s=build_s,
+            bundle_cached=cached,
+            memory_bytes=record.memory_bytes,
+        )
+    except Exception as exc:  # noqa: BLE001 - must cross the worker boundary as data
+        return TileResult(
+            job_id=task.job_id,
+            tile_index=task.tile_index,
+            worker_id=worker_id,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def _default_num_workers() -> int:
+    """A small pool: enough to overlap scenes, not enough to thrash a laptop."""
+    return max(2, min(4, os.cpu_count() or 2))
+
+
+class ExecutionBackend:
+    """The contract between the scheduling and execution layers.
+
+    Lifecycle: the server calls :meth:`start` with its store once, then
+    interleaves :meth:`submit` (while :meth:`has_capacity`) with
+    :meth:`collect`, and finally :meth:`close`.  Completions may come back
+    in any order; the scheduler owns reassembly.
+    """
+
+    #: Short name surfaced in :class:`~repro.serve.telemetry.ServerStats`.
+    name: str = "?"
+    #: Parallel workers this backend renders on.
+    num_workers: int = 1
+
+    def __init__(self) -> None:
+        self._in_flight = 0
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self, store: SceneStore) -> None:
+        """Bind to a store and spin up workers.  Idempotent per store."""
+        if self._started:
+            raise RuntimeError(
+                f"{type(self).__name__} is already started; each RenderServer "
+                "needs its own backend instance"
+            )
+        self._started = True
+        self._start(store)
+
+    def close(self) -> None:
+        """Tear down workers.  In-flight results may be lost; close when idle."""
+        if self._started:
+            self._started = False
+            self._close()
+
+    # -- scheduling interface ------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Tasks submitted but not yet collected."""
+        return self._in_flight
+
+    def has_capacity(self) -> bool:
+        """Whether the scheduler should dispatch another tile now."""
+        return self._in_flight < self._max_in_flight()
+
+    def can_accept(self, key: Tuple[str, str]) -> bool:
+        """Whether a tile of this ``(scene, pipeline)`` key should dispatch now.
+
+        Pool backends answer per worker: a key whose sticky worker is at
+        queue depth is deferred even while other workers have headroom, so a
+        hot key cannot pile unbounded run-ahead onto one queue (tiles left
+        undispatched can still be cancelled by deadline expiry).
+        """
+        return self.has_capacity()
+
+    def submit(self, task: TileTask) -> None:
+        if not self._started:
+            raise RuntimeError(f"{type(self).__name__} is not started")
+        self._in_flight += 1
+        self._submit(task)
+
+    def collect(self, block: bool = False, timeout: Optional[float] = None) -> List[TileResult]:
+        """Finished tiles since the last call (any order).
+
+        Non-blocking by default; with ``block=True`` and tasks in flight,
+        waits up to ``timeout`` (default ``_COLLECT_BLOCK_S``) for at least
+        one completion, returning empty-handed on expiry so the scheduler
+        stays responsive.  Raises if workers have died with work in flight.
+        """
+        results = self._collect(block=block and self._in_flight > 0, timeout=timeout)
+        self._in_flight -= len(results)
+        return results
+
+    # -- subclass hooks -------------------------------------------------
+    def _max_in_flight(self) -> int:
+        raise NotImplementedError
+
+    def _start(self, store: SceneStore) -> None:
+        raise NotImplementedError
+
+    def _submit(self, task: TileTask) -> None:
+        raise NotImplementedError
+
+    def _collect(self, block: bool, timeout: Optional[float]) -> List[TileResult]:
+        raise NotImplementedError
+
+    def _close(self) -> None:
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutionBackend):
+    """Render tiles inline on the scheduler's thread (the default).
+
+    ``submit`` executes immediately and ``collect`` hands the single result
+    back, so the server's step loop renders exactly one tile per step in
+    deterministic order — the cooperative behaviour the traffic replayers
+    and every pre-backend test were written against.
+    """
+
+    name = "serial"
+    num_workers = 1
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._store: Optional[SceneStore] = None
+        self._done: List[TileResult] = []
+
+    def _max_in_flight(self) -> int:
+        return 1
+
+    def _start(self, store: SceneStore) -> None:
+        self._store = store
+
+    def _submit(self, task: TileTask) -> None:
+        assert self._store is not None
+        self._done.append(_execute_tile(self._store, task, worker_id=0))
+
+    def _collect(self, block: bool, timeout: Optional[float]) -> List[TileResult]:
+        done, self._done = self._done, []
+        return done
+
+    def _close(self) -> None:
+        self._done = []
+
+
+class _PoolBackend(ExecutionBackend):
+    """Shared plumbing of the worker-pool backends.
+
+    Each worker owns an input queue; one output queue fans completions back
+    in.  Routing is by sticky ``(scene, pipeline)`` affinity — first touch
+    picks the worker with the fewest assigned keys — so bundles are resident
+    exactly once across the pool and never rendered concurrently.
+    """
+
+    def __init__(self, num_workers: Optional[int] = None, queue_depth: int = 2) -> None:
+        super().__init__()
+        if num_workers is not None and num_workers < 1:
+            raise ValueError(f"num_workers must be at least 1, got {num_workers}")
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be at least 1, got {queue_depth}")
+        self.num_workers = num_workers if num_workers is not None else _default_num_workers()
+        #: Submitted-not-collected tiles the scheduler may run ahead per
+        #: worker; 2 keeps every worker busy while it renders.
+        self.queue_depth = queue_depth
+        self._affinity: Dict[Tuple[str, str], int] = {}
+        self._keys_per_worker = [0] * self.num_workers
+        self._inflight_per_worker = [0] * self.num_workers
+        self._task_queues: list = []
+        self._result_queue = None
+
+    def _start(self, store: SceneStore) -> None:
+        self._inflight_per_worker = [0] * self.num_workers
+        self._launch(store)
+
+    def _launch(self, store: SceneStore) -> None:
+        raise NotImplementedError
+
+    def _max_in_flight(self) -> int:
+        return self.num_workers * self.queue_depth
+
+    def has_capacity(self) -> bool:
+        """Dispatch while *some* worker has queue-depth headroom.
+
+        Capacity is tracked per worker, not as one global cap: a hot
+        ``(scene, pipeline)`` key backlogging its sticky worker must not
+        block dispatch for jobs whose keys route to idle workers.  Which
+        worker a specific tile may go to is :meth:`can_accept`'s per-key
+        answer; this method only says whether dispatching is worth trying.
+        """
+        return any(count < self.queue_depth for count in self._inflight_per_worker)
+
+    def can_accept(self, key: Tuple[str, str]) -> bool:
+        return self._inflight_per_worker[self.worker_for(key)] < self.queue_depth
+
+    def worker_for(self, key: Tuple[str, str]) -> int:
+        """The sticky worker assignment of one ``(scene, pipeline)`` key."""
+        worker = self._affinity.get(key)
+        if worker is None:
+            worker = min(range(self.num_workers), key=lambda i: self._keys_per_worker[i])
+            self._affinity[key] = worker
+            self._keys_per_worker[worker] += 1
+        return worker
+
+    def _submit(self, task: TileTask) -> None:
+        worker = self.worker_for(task.key)
+        self._inflight_per_worker[worker] += 1
+        self._task_queues[worker].put(task)
+
+    def _collect(self, block: bool, timeout: Optional[float]) -> List[TileResult]:
+        results: List[TileResult] = []
+        assert self._result_queue is not None
+        while True:
+            try:
+                results.append(self._result_queue.get_nowait())
+            except queue_lib.Empty:
+                break
+        if block and not results:
+            self._check_health()
+            try:
+                results.append(
+                    self._result_queue.get(
+                        timeout=timeout if timeout is not None else _COLLECT_BLOCK_S
+                    )
+                )
+            except queue_lib.Empty:
+                return results  # nothing finished in time; the caller re-steps
+            while True:  # and whatever else finished meanwhile
+                try:
+                    results.append(self._result_queue.get_nowait())
+                except queue_lib.Empty:
+                    break
+        for result in results:
+            self._inflight_per_worker[result.worker_id] -= 1
+        return results
+
+    def _check_health(self) -> None:
+        """Raise if the pool can no longer make progress (dead workers)."""
+
+
+def _thread_worker(
+    worker_id: int,
+    store: SceneStore,
+    task_queue: "queue_lib.SimpleQueue",
+    result_queue: "queue_lib.SimpleQueue",
+) -> None:
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        result_queue.put(_execute_tile(store, task, worker_id))
+
+
+class ThreadPoolBackend(_PoolBackend):
+    """Worker threads sharing the server's store.
+
+    Bundle acquisition (and therefore building) serializes on the store's
+    own lock; rendering runs outside it.  Affinity routing means a given
+    engine is only ever rendered by its one worker, so no render-path state
+    is shared between threads — the GIL is the only remaining serialization,
+    and numpy releases it inside the heavy kernels.
+    """
+
+    name = "thread"
+
+    def _launch(self, store: SceneStore) -> None:
+        self._task_queues = [queue_lib.SimpleQueue() for _ in range(self.num_workers)]
+        self._result_queue = queue_lib.SimpleQueue()
+        self._threads = [
+            threading.Thread(
+                target=_thread_worker,
+                args=(i, store, self._task_queues[i], self._result_queue),
+                name=f"serve-worker-{i}",
+                daemon=True,
+            )
+            for i in range(self.num_workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def _close(self) -> None:
+        for task_queue in self._task_queues:
+            task_queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+
+def _process_worker(worker_id, spec, num_shards, task_queue, result_queue) -> None:
+    """Entry point of one shared-nothing worker process.
+
+    Builds this shard's own store from the spec (per-shard memory budget)
+    and serves tasks until the ``None`` sentinel.  Runs until then; errors
+    travel back as :class:`TileResult.error`, never as a dead process.
+    """
+    store = SceneStore.from_spec(spec, shard_index=worker_id, num_shards=num_shards)
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        result_queue.put(_execute_tile(store, task, worker_id))
+
+
+class ProcessPoolBackend(_PoolBackend):
+    """Shared-nothing worker processes, each owning a store shard.
+
+    Workers are forked where available (so closure loaders injected into the
+    parent store keep working) and rebuild their bundles deterministically
+    from the store spec; only :class:`TileTask`\\ s and :class:`TileResult`\\ s
+    cross the process boundary.  This sidesteps the GIL entirely: per-tile
+    Python overhead — sampling, masking, bookkeeping — runs truly in
+    parallel, which the thread backend cannot offer.
+    """
+
+    name = "process"
+
+    def _launch(self, store: SceneStore) -> None:
+        spec = store.spec()
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+        self._task_queues = [ctx.Queue() for _ in range(self.num_workers)]
+        self._result_queue = ctx.Queue()
+        self._processes = [
+            ctx.Process(
+                target=_process_worker,
+                args=(i, spec, self.num_workers, self._task_queues[i], self._result_queue),
+                name=f"serve-shard-{i}",
+                daemon=True,
+            )
+            for i in range(self.num_workers)
+        ]
+        for process in self._processes:
+            process.start()
+
+    def _close(self) -> None:
+        for task_queue in self._task_queues:
+            try:
+                task_queue.put(None)
+            except (OSError, ValueError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+
+    def _check_health(self) -> None:
+        dead = [p.name for p in self._processes if not p.is_alive()]
+        if dead and self._in_flight > 0:
+            raise RuntimeError(
+                f"ProcessPoolBackend: worker(s) {', '.join(dead)} died with "
+                f"{self._in_flight} tile(s) in flight"
+            )
+
+
+#: Backend names :func:`make_backend` (and the benchmark CLI) accept.
+BACKEND_NAMES = ("serial", "thread", "process")
+
+
+def make_backend(name: str, num_workers: Optional[int] = None) -> ExecutionBackend:
+    """Construct a backend by name (``serial`` ignores ``num_workers``)."""
+    if name == "serial":
+        return SerialBackend()
+    if name == "thread":
+        return ThreadPoolBackend(num_workers=num_workers)
+    if name == "process":
+        return ProcessPoolBackend(num_workers=num_workers)
+    raise ValueError(f"unknown backend {name!r}; choose from {', '.join(BACKEND_NAMES)}")

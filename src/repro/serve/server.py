@@ -1,28 +1,36 @@
-"""The :class:`RenderServer`: multi-scene render serving on one worker.
+"""The :class:`RenderServer`: a pure tile scheduler over execution backends.
 
 The server turns the single-request :class:`~repro.api.RenderEngine` into a
 multi-tenant front end with submit/poll/result semantics:
 
-* **Admission** — submissions beyond ``max_pending`` are rejected
-  immediately (the caller sees a ``REJECTED`` job instead of unbounded
-  queue growth).
-* **Scheduling** — two FIFO queues, ``Priority.HIGH`` drained before
-  ``Priority.NORMAL``; within a queue, jobs advance one *tile* at a time in
+* **Admission** — submissions beyond ``max_pending`` (a job count) or
+  ``max_pending_cost`` (a work estimate from the hardware layer's
+  :class:`~repro.hardware.workload.FrameWorkload`) are rejected immediately,
+  or down-prioritized under the ``demote`` policy — the caller sees
+  backpressure instead of unbounded queue growth.
+* **Scheduling** — priority classes drained in order (HIGH before NORMAL
+  before LOW); within a class, jobs advance one *tile* at a time in
   round-robin, so an 800x800 frame never head-of-line-blocks a thumbnail.
+* **Execution** — the server renders nothing itself.  Tiles are submitted to
+  an :class:`~repro.serve.backends.ExecutionBackend` (serial by default;
+  thread and shared-nothing process pools for parallel serving) and
+  completions are collected **in any order** — out-of-order tiles are
+  reassembled per job, and partially rendered frames can be streamed to
+  callers before the job finishes (``poll(..., include_tiles=True)``).
 * **Deadlines** — a job whose ``deadline_s`` elapses before it finishes is
-  expired at the next scheduling point and stops consuming tiles.
-* **Residency** — fields and engines come from the :class:`SceneStore`, so
-  the first request for a ``(scene, pipeline)`` pays the build and later
-  requests are pure rendering.
+  expired at the next scheduling point; results of its in-flight tiles are
+  dropped on arrival.
+* **Residency** — the scheduler only ever touches *scenes* (camera geometry,
+  tile planning, admission costs, reference images) through
+  :meth:`SceneStore.get_scene`; fields and engines are resolved by the
+  backend's workers, which is what lets a process pool own its bundles in
+  shared-nothing store shards.
 
-Execution is deliberately single-threaded and cooperative: callers (or the
-traffic replayers in :mod:`repro.serve.traffic`) pump :meth:`step`, which
-renders exactly one tile.  The rendering workload is numpy/BLAS-bound, so a
-thread pool would serialise on the GIL anyway; process-level parallelism is
-the sharding layer future PRs add *on top of* this scheduler.  Determinism is
-what the tests buy: the same submissions in the same order produce the same
-schedule, and served frames are bit-identical to direct engine renders (see
-:mod:`repro.serve.tiles`).
+Determinism is preserved where the tests need it: under the default
+:class:`~repro.serve.backends.SerialBackend`, :meth:`step` renders exactly
+one tile in the same schedule earlier single-worker revisions produced, and
+served frames are bit-identical to direct engine renders under *every*
+backend (see :mod:`repro.serve.tiles`).
 """
 
 from __future__ import annotations
@@ -31,25 +39,40 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum, IntEnum
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.api import RenderRequest
+from repro.hardware.workload import COST_METRICS, FrameWorkload, workload_from_scene
 from repro.nerf.metrics import psnr as compute_psnr
 from repro.nerf.renderer import RenderStats
-from repro.serve.store import SceneBundleRecord, SceneStore
+from repro.serve.backends import ExecutionBackend, SerialBackend, TileResult, TileTask, make_backend
+from repro.serve.store import SceneStore
 from repro.serve.telemetry import ServerStats, Telemetry
 from repro.serve.tiles import Tile, assemble_tiles, plan_tiles
 
-__all__ = ["Priority", "JobState", "JobView", "ServeResult", "RenderServer"]
+__all__ = [
+    "Priority",
+    "JobState",
+    "JobView",
+    "TileUpdate",
+    "ServeResult",
+    "RenderServer",
+    "OVER_COST_POLICIES",
+]
 
 
 class Priority(IntEnum):
-    """Scheduling class: HIGH is always drained before NORMAL."""
+    """Scheduling class, drained in declaration order (HIGH first).
+
+    ``LOW`` is where the ``demote`` over-cost admission policy parks
+    over-budget work: admitted, but only rendered when nothing more
+    important wants the workers.
+    """
 
     HIGH = 0
     NORMAL = 1
+    LOW = 2
 
 
 class JobState(str, Enum):
@@ -63,6 +86,10 @@ class JobState(str, Enum):
 
 #: States in which a job still wants worker time.
 _ACTIVE_STATES = (JobState.QUEUED, JobState.RUNNING)
+
+#: What ``over_cost_policy`` accepts: reject over-budget work outright, or
+#: admit it demoted to ``Priority.LOW``.
+OVER_COST_POLICIES = ("reject", "demote")
 
 
 @dataclass(eq=False)
@@ -79,18 +106,34 @@ class _Job:
     transmittance_threshold: Optional[float]
     compare_to_reference: bool
     submitted_at: float
+    estimated_cost: Optional[float] = None
     state: JobState = JobState.QUEUED
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
-    record: Optional[SceneBundleRecord] = None
-    bundle_cached: bool = False
+    bundle_cached: Optional[bool] = None
+    memory_bytes: int = 0
     tiles: List[Tile] = field(default_factory=list)
-    next_tile: int = 0
-    tile_images: List[np.ndarray] = field(default_factory=list)
+    #: ``(height, width)`` captured at planning time, so finalization never
+    #: re-loads a scene the store may have dropped mid-job.
+    frame_shape: Optional[Tuple[int, int]] = None
+    tiles_dispatched: int = 0
+    tiles_completed: int = 0
+    #: Completed tile images keyed by tile index — a dict, not a list,
+    #: because pool backends complete tiles out of order.
+    tile_images: Dict[int, np.ndarray] = field(default_factory=dict)
+    max_applied_tile: int = -1
     stats: RenderStats = field(default_factory=RenderStats)
     service_s: float = 0.0
     error: Optional[str] = None
     result: Optional["ServeResult"] = None
+
+
+@dataclass(eq=False)
+class TileUpdate:
+    """One streamed tile of a partially rendered frame."""
+
+    tile: Tile
+    image: np.ndarray
 
 
 @dataclass(eq=False)
@@ -106,7 +149,12 @@ class JobView:
     tiles_total: int
     tiles_done: int
     age_s: float
+    estimated_cost: Optional[float] = None
     error: Optional[str] = None
+    #: Completed tiles so far, in frame order — populated only by
+    #: ``poll(..., include_tiles=True)`` while the job is rendering; the
+    #: streaming consumer pastes them into a canvas as they arrive.
+    completed_tiles: Optional[Tuple[TileUpdate, ...]] = None
 
     @property
     def progress(self) -> float:
@@ -118,9 +166,10 @@ class JobView:
 class ServeResult:
     """A completed job's frame plus its serving-side accounting.
 
-    ``queue_wait_s`` spans submission to the first tile starting (bundle
-    build included), ``service_s`` is the rendering + build time actually
-    spent on the job, ``latency_s`` spans submission to completion.
+    ``queue_wait_s`` spans submission to the job's first tile being
+    dispatched, ``service_s`` is the rendering + bundle-build time workers
+    actually spent on the job (wall-parallel time under pool backends),
+    ``latency_s`` spans submission to completion.
     """
 
     job_id: str
@@ -144,39 +193,82 @@ class RenderServer:
     Parameters
     ----------
     store:
-        The :class:`SceneStore` providing ``(scene, field, engine)`` bundles.
+        The :class:`SceneStore` providing scenes to the scheduler and (for
+        in-process backends) bundles to the workers.
+    backend:
+        Where tiles execute: an :class:`~repro.serve.backends.ExecutionBackend`
+        instance, one of the names ``"serial"`` / ``"thread"`` / ``"process"``,
+        or ``None`` for the default deterministic serial backend.  The server
+        owns the backend — :meth:`close` tears it down.
     max_pending:
         Admission limit on jobs that are queued or running; submissions over
         it are rejected (``None`` = unbounded).
+    max_pending_cost:
+        Cost-based admission budget: each submission is priced by the
+        hardware layer's :func:`~repro.hardware.workload.workload_from_scene`
+        estimate scaled to the requested camera's geometry, and work that
+        would push the summed cost of admitted-unfinished jobs over this
+        budget is rejected — or demoted to ``Priority.LOW`` under the
+        ``demote`` policy.  Units are those of ``cost_metric``.
+    cost_metric:
+        The :meth:`FrameWorkload.cost` currency admission budgets in:
+        ``"total_samples"`` (default) or ``"mlp_flops"``.
+    over_cost_policy:
+        ``"reject"`` (default) or ``"demote"`` — what happens to work that
+        does not fit the cost budget.
     default_tile_size:
         Tile size when a submission does not pick one.  ``None`` falls back
-        to the bundle engine's configured ray chunk size, which keeps served
-        frames bit-identical to that engine's direct ``render_image``.
+        to the scene's configured ray chunk size, which keeps served frames
+        bit-identical to the bundle engine's direct ``render_image``.
     max_finished_jobs:
         Retention bound on finished jobs (done, rejected, expired, failed):
         once exceeded, the oldest-finished jobs — frames included — are
-        forgotten and their ids no longer poll.  Long-running servers would
-        otherwise pin every frame ever rendered (``None`` = keep forever).
+        forgotten and their ids no longer poll (``None`` = keep forever).
     clock:
         Monotonic time source (injectable for deterministic deadline tests).
+        Worker utilization always uses real wall time.
     """
 
     def __init__(
         self,
         store: SceneStore,
+        backend: Union[ExecutionBackend, str, None] = None,
         max_pending: Optional[int] = None,
+        max_pending_cost: Optional[float] = None,
+        cost_metric: str = "total_samples",
+        over_cost_policy: str = "reject",
         default_tile_size: Optional[int] = None,
         max_finished_jobs: Optional[int] = 1024,
         clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         if max_pending is not None and max_pending < 1:
             raise ValueError(f"max_pending must be at least 1, got {max_pending}")
+        if max_pending_cost is not None and max_pending_cost <= 0:
+            raise ValueError(f"max_pending_cost must be positive, got {max_pending_cost}")
+        if cost_metric not in COST_METRICS:
+            raise ValueError(
+                f"unknown cost_metric {cost_metric!r}; choose from {', '.join(COST_METRICS)}"
+            )
+        if over_cost_policy not in OVER_COST_POLICIES:
+            raise ValueError(
+                f"unknown over_cost_policy {over_cost_policy!r}; "
+                f"choose from {', '.join(OVER_COST_POLICIES)}"
+            )
         if max_finished_jobs is not None and max_finished_jobs < 1:
             raise ValueError(f"max_finished_jobs must be at least 1, got {max_finished_jobs}")
         if default_tile_size is not None and default_tile_size < 1:
             raise ValueError(f"default_tile_size must be at least 1, got {default_tile_size}")
         self.store = store
+        if backend is None:
+            backend = SerialBackend()
+        elif isinstance(backend, str):
+            backend = make_backend(backend)
+        self.backend = backend
+        self.backend.start(store)
         self.max_pending = max_pending
+        self.max_pending_cost = max_pending_cost
+        self.cost_metric = cost_metric
+        self.over_cost_policy = over_cost_policy
         self.default_tile_size = default_tile_size
         self.max_finished_jobs = max_finished_jobs
         self._clock = clock
@@ -186,8 +278,46 @@ class RenderServer:
         self._active: set = set()
         #: Finished ids in completion order, oldest first (retention queue).
         self._finished: Deque[str] = deque()
+        #: Summed estimated cost of admitted-unfinished jobs.
+        self._pending_cost = 0.0
+        #: Cached per-scene workload estimates for admission pricing.
+        self._workloads: Dict[str, FrameWorkload] = {}
+        #: Real wall clock of the first dispatch (utilization denominator).
+        self._wall_start: Optional[float] = None
         self.telemetry = Telemetry()
         self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Tear down the execution backend (idle workers, queues, processes)."""
+        self.backend.close()
+
+    def __enter__(self) -> "RenderServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Admission pricing
+    # ------------------------------------------------------------------
+    def estimate_cost(self, scene: str, camera_index: int = 0) -> float:
+        """The admission cost of one frame of ``scene`` in ``cost_metric`` units.
+
+        Prices via the hardware layer's analytic
+        :func:`~repro.hardware.workload.workload_from_scene` (cached per
+        scene) scaled to the requested camera's pixel geometry, closing the
+        loop between the paper's workload model and the serving layer.
+        """
+        workload = self._workloads.get(scene)
+        scene_obj = self.store.get_scene(scene)
+        if workload is None:
+            workload = workload_from_scene(scene_obj)
+            self._workloads[scene] = workload
+        camera = scene_obj.cameras[camera_index]
+        return workload.scaled_to(camera.width, camera.height).cost(self.cost_metric)
 
     # ------------------------------------------------------------------
     # Submission / inspection
@@ -212,34 +342,70 @@ class RenderServer:
         if tile_size is not None and tile_size < 1:
             raise ValueError(f"tile_size must be at least 1, got {tile_size}")
         self._seq += 1
+        priority = Priority(priority)
         admitted = self.max_pending is None or self.pending_count() < self.max_pending
+        over_cost = False
+        cost: Optional[float] = None
+        if self.max_pending_cost is not None:
+            try:
+                cost = self.estimate_cost(scene, camera_index)
+            except Exception:  # noqa: BLE001 - unknown scene/camera: admit, let
+                cost = None  # the render path fail the job with a real error
+            # The cost branch only applies to submissions the count check
+            # admitted: a count-rejected job must keep its requested priority
+            # and must not record a demotion that never happened.
+            if admitted and cost is not None and (
+                self._pending_cost + cost > self.max_pending_cost
+            ):
+                if self.over_cost_policy == "reject":
+                    admitted, over_cost = False, True
+                elif priority is not Priority.LOW:
+                    priority = Priority.LOW
+                    self.telemetry.demoted_over_cost += 1
         job = _Job(
             job_id=f"job-{self._seq:05d}",
             scene=scene,
             pipeline=pipeline,
             camera_index=camera_index,
-            priority=Priority(priority),
+            priority=priority,
             deadline_s=deadline_s,
             tile_size=tile_size,
             transmittance_threshold=transmittance_threshold,
             compare_to_reference=compare_to_reference,
             submitted_at=self._clock(),
+            estimated_cost=cost,
         )
         self._jobs[job.job_id] = job
         self.telemetry.submitted += 1
         if admitted:
             self._active.add(job.job_id)
             self._queues[job.priority].append(job.job_id)
+            if cost is not None:
+                self._pending_cost += cost
         else:
             job.state = JobState.REJECTED
             job.finished_at = job.submitted_at
             self.telemetry.rejected += 1
+            if over_cost:
+                self.telemetry.rejected_over_cost += 1
             self._retire(job)
         return job.job_id
 
-    def poll(self, job_id: str) -> JobView:
-        """The current externally visible state of one job."""
+    def poll(self, job_id: str, include_tiles: bool = False) -> JobView:
+        """The current externally visible state of one job.
+
+        With ``include_tiles=True`` the view also carries every completed
+        tile of a still-rendering job (:class:`TileUpdate`\\ s in frame
+        order) — the streaming partial-result interface.  Finished jobs
+        stream nothing: their assembled frame lives in :meth:`result`.
+        """
         job = self._job(job_id)
+        completed: Optional[Tuple[TileUpdate, ...]] = None
+        if include_tiles:
+            completed = tuple(
+                TileUpdate(tile=job.tiles[index], image=job.tile_images[index])
+                for index in sorted(job.tile_images)
+            )
         return JobView(
             job_id=job.job_id,
             state=job.state,
@@ -248,10 +414,12 @@ class RenderServer:
             camera_index=job.camera_index,
             priority=job.priority,
             tiles_total=len(job.tiles),
-            tiles_done=job.next_tile,
+            tiles_done=job.tiles_completed,
             age_s=(job.finished_at if job.finished_at is not None else self._clock())
             - job.submitted_at,
+            estimated_cost=job.estimated_cost,
             error=job.error,
+            completed_tiles=completed,
         )
 
     def result(self, job_id: str) -> ServeResult:
@@ -264,37 +432,51 @@ class RenderServer:
         return job.result
 
     def pending_count(self) -> int:
-        """Jobs currently queued or mid-render."""
+        """Jobs currently queued or mid-render (the admission count)."""
         return len(self._active)
 
+    def pending_cost(self) -> float:
+        """Summed estimated cost of admitted-unfinished jobs."""
+        return self._pending_cost
+
     def has_pending(self) -> bool:
-        return self.pending_count() > 0
+        """Whether stepping can still make progress (jobs or in-flight tiles)."""
+        return bool(self._active) or self.backend.in_flight > 0
 
     def stats(self) -> ServerStats:
-        """One :class:`ServerStats` snapshot (telemetry + store + queues)."""
+        """One :class:`ServerStats` snapshot (telemetry + store + backend)."""
+        wall = time.perf_counter() - self._wall_start if self._wall_start is not None else None
         return self.telemetry.snapshot(
-            queue_depth=self.pending_count(), store_stats=self.store.stats()
+            queue_depth=self.pending_count(),
+            store_stats=self.store.stats(),
+            backend=self.backend.name,
+            num_workers=self.backend.num_workers,
+            wall_s=wall,
+            pending_cost=self._pending_cost,
         )
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
-        """Render exactly one tile of the next scheduled job.
+        """Advance the schedule: collect completions, dispatch runnable tiles.
 
-        Returns ``False`` when no active job remains (the server is idle).
-        Deadline expiry happens here, at scheduling points — a tile already
-        rendering is never aborted mid-flight.
+        Under the serial backend this renders exactly one tile, preserving
+        the deterministic cooperative loop; under pool backends it fills
+        worker queues up to capacity and applies whatever completed, blocking
+        briefly only when every runnable tile is already in flight.  Returns
+        ``False`` when nothing is pending (the server is idle).  Deadline
+        expiry happens here, at scheduling points — a tile already rendering
+        is never aborted mid-flight; its result is dropped instead.
         """
         self._expire_overdue()
-        job = self._next_job()
-        if job is None:
-            return False
-        try:
-            self._advance(job)
-        except Exception as exc:  # noqa: BLE001 - a bad job must not kill the server
-            self._fail(job, exc)
-        return True
+        self._apply(self.backend.collect())
+        dispatched = self._dispatch()
+        if dispatched == 0 and self.backend.in_flight > 0:
+            self._apply(self.backend.collect(block=True))
+        else:
+            self._apply(self.backend.collect())
+        return self.has_pending()
 
     def run_until_idle(self, max_steps: Optional[int] = None) -> int:
         """Pump :meth:`step` until idle (or ``max_steps``); returns steps run."""
@@ -314,10 +496,8 @@ class RenderServer:
     def _retire(self, job: _Job) -> None:
         """Record a terminal transition and trim retention of finished jobs."""
         self._active.discard(job.job_id)
-        # Everything the result needs was copied out of the bundle; keeping
-        # the reference would pin store-evicted bundles (scene + field +
-        # engine) for up to max_finished_jobs completions past the budget.
-        job.record = None
+        if job.estimated_cost is not None and job.state is not JobState.REJECTED:
+            self._pending_cost = max(0.0, self._pending_cost - job.estimated_cost)
         self._finished.append(job.job_id)
         if self.max_finished_jobs is not None:
             while len(self._finished) > self.max_finished_jobs:
@@ -330,7 +510,7 @@ class RenderServer:
             if job.deadline_s is not None and now - job.submitted_at > job.deadline_s:
                 job.state = JobState.EXPIRED
                 job.finished_at = now
-                job.tile_images = []  # partial shards are dead weight now
+                job.tile_images = {}  # partial shards are dead weight now
                 self.telemetry.expired += 1
                 self._retire(job)
 
@@ -346,59 +526,114 @@ class RenderServer:
                 # purged lazily right here.
         return None
 
-    def _advance(self, job: _Job) -> None:
-        """Run one tile of ``job`` and requeue or finalize it."""
-        if job.state is JobState.QUEUED:
-            self._start(job)
-        assert job.record is not None
-        tile = job.tiles[job.next_tile]
-        request = RenderRequest(
-            camera_indices=(tile.camera_index,),
-            pixel_indices=tile.pixel_indices(),
-            transmittance_threshold=job.transmittance_threshold,
-        )
-        start = time.perf_counter()
-        rendered = job.record.engine.render(request)
-        service = time.perf_counter() - start
-        job.tile_images.append(rendered.image)
-        job.stats.merge(rendered.stats)
-        job.service_s += service
-        job.next_tile += 1
-        self.telemetry.record_tile(rendered.stats, service)
-        if job.next_tile >= len(job.tiles):
-            self._finalize(job)
-        else:
-            self._queues[job.priority].append(job.job_id)
+    def _dispatch(self) -> int:
+        """Submit runnable tiles round-robin until the backend is full.
 
-    def _start(self, job: _Job) -> None:
-        """First scheduling of a job: acquire the bundle and plan its tiles."""
+        A job whose ``(scene, pipeline)`` key the backend cannot accept
+        right now (its sticky worker is at queue depth) is deferred to the
+        next step rather than force-enqueued, keeping per-worker run-ahead
+        bounded and leaving undispatched tiles cancellable by deadlines.
+        """
+        dispatched = 0
+        deferred: List[_Job] = []
+        while self.backend.has_capacity():
+            job = self._next_job()
+            if job is None:
+                break
+            if not self.backend.can_accept((job.scene, job.pipeline)):
+                deferred.append(job)
+                continue
+            if job.state is JobState.QUEUED:
+                try:
+                    self._plan(job)
+                except Exception as exc:  # noqa: BLE001 - a bad job must not
+                    self._fail(job, f"{type(exc).__name__}: {exc}")  # kill the server
+                    continue
+            tile = job.tiles[job.tiles_dispatched]
+            task = TileTask(
+                job_id=job.job_id,
+                tile_index=job.tiles_dispatched,
+                scene=job.scene,
+                pipeline=job.pipeline,
+                camera_index=tile.camera_index,
+                start=tile.start,
+                stop=tile.stop,
+                transmittance_threshold=job.transmittance_threshold,
+            )
+            job.tiles_dispatched += 1
+            # Requeue BEFORE submitting: a serial backend renders inline, and
+            # a failure there must not lose the job's queue position.
+            if job.tiles_dispatched < len(job.tiles):
+                self._queues[job.priority].append(job.job_id)
+            self.backend.submit(task)
+            dispatched += 1
+        for job in deferred:
+            self._queues[job.priority].append(job.job_id)
+        return dispatched
+
+    def _plan(self, job: _Job) -> None:
+        """First scheduling of a job: resolve geometry and plan its tiles.
+
+        Deliberately scene-only — the field/engine bundle is the executing
+        worker's concern, so planning stays cheap and process-pool servers
+        never build bundles on the scheduler.
+        """
         job.state = JobState.RUNNING
-        misses_before = self.store.stats().misses
-        build_start = time.perf_counter()
-        record = self.store.get(job.scene, job.pipeline)
-        build_elapsed = time.perf_counter() - build_start
-        job.record = record
-        job.bundle_cached = self.store.stats().misses == misses_before
-        if not job.bundle_cached:
-            job.service_s += build_elapsed
-            self.telemetry.record_build(build_elapsed)
-        camera = record.scene.cameras[job.camera_index]
+        scene = self.store.get_scene(job.scene)
+        camera = scene.cameras[job.camera_index]
         tile_size = (
             job.tile_size
             or self.default_tile_size
-            or record.engine.config.chunk_size
+            or scene.render_config.chunk_size
         )
         job.tiles = plan_tiles(camera.num_pixels, tile_size, camera_index=job.camera_index)
+        job.frame_shape = (camera.height, camera.width)
         job.started_at = self._clock()
+        if self._wall_start is None:
+            self._wall_start = time.perf_counter()
+
+    def _apply(self, results: List[TileResult]) -> None:
+        """Fold completed (possibly out-of-order) tiles back into their jobs."""
+        for result in results:
+            if result.stats is not None:
+                self.telemetry.record_tile(result.stats, result.service_s, result.worker_id)
+            if result.build_s > 0.0:
+                self.telemetry.record_build(result.build_s, result.worker_id)
+            job = self._jobs.get(result.job_id)
+            if job is None or job.state not in _ACTIVE_STATES:
+                # Late arrival for an expired/failed/retired job: the work is
+                # counted (it did busy a worker) but the frame is gone.
+                self.telemetry.dropped_tile_results += 1
+                continue
+            if result.error is not None:
+                self._fail(job, result.error)
+                continue
+            if result.tile_index < job.max_applied_tile:
+                self.telemetry.ooo_completions += 1
+            job.max_applied_tile = max(job.max_applied_tile, result.tile_index)
+            job.tile_images[result.tile_index] = result.image
+            job.tiles_completed += 1
+            job.stats.merge(result.stats)
+            job.service_s += result.service_s + result.build_s
+            if job.bundle_cached is None:
+                job.bundle_cached = result.bundle_cached
+            job.memory_bytes = max(job.memory_bytes, result.memory_bytes)
+            if job.tiles_completed >= len(job.tiles):
+                try:
+                    self._finalize(job)
+                except Exception as exc:  # noqa: BLE001 - a job that cannot
+                    # finalize (reference render, assembly) fails alone; it
+                    # must not abort the scheduling loop mid-collection.
+                    self._fail(job, f"{type(exc).__name__}: {exc}")
 
     def _finalize(self, job: _Job) -> None:
-        record = job.record
-        assert record is not None
-        camera = record.scene.cameras[job.camera_index]
-        image = assemble_tiles(job.tiles, job.tile_images, (camera.height, camera.width))
+        assert job.frame_shape is not None
+        images = [job.tile_images[index] for index in range(len(job.tiles))]
+        image = assemble_tiles(job.tiles, images, job.frame_shape)
         quality = None
         if job.compare_to_reference:
-            quality = float(compute_psnr(image, record.scene.reference_image(job.camera_index)))
+            reference = self.store.get_scene(job.scene).reference_image(job.camera_index)
+            quality = float(compute_psnr(image, reference))
         job.state = JobState.DONE
         job.finished_at = self._clock()
         started = job.started_at if job.started_at is not None else job.finished_at
@@ -416,17 +651,17 @@ class RenderServer:
             queue_wait_s=queue_wait,
             service_s=job.service_s,
             latency_s=latency,
-            bundle_cached=job.bundle_cached,
-            memory_bytes=record.memory_bytes,
+            bundle_cached=bool(job.bundle_cached),
+            memory_bytes=job.memory_bytes,
         )
-        job.tile_images = []  # the assembled frame supersedes the shards
+        job.tile_images = {}  # the assembled frame supersedes the shards
         self.telemetry.record_completion(latency, queue_wait)
         self._retire(job)
 
-    def _fail(self, job: _Job, exc: Exception) -> None:
+    def _fail(self, job: _Job, error: str) -> None:
         job.state = JobState.FAILED
         job.finished_at = self._clock()
-        job.error = f"{type(exc).__name__}: {exc}"
-        job.tile_images = []
+        job.error = error
+        job.tile_images = {}
         self.telemetry.failed += 1
         self._retire(job)

@@ -19,6 +19,7 @@ compressed model cached on it — is dropped too.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -28,7 +29,7 @@ from repro.api import PipelineConfig, RenderEngine, build_field
 from repro.core.config import SpNeRFConfig
 from repro.datasets.synthetic import SyntheticScene, load_scene
 
-__all__ = ["SceneBundleRecord", "SceneStoreStats", "SceneStore"]
+__all__ = ["SceneBundleRecord", "SceneStoreStats", "SceneStoreSpec", "SceneStore"]
 
 #: A ``(scene_name, pipeline)`` residency key.
 StoreKey = Tuple[str, str]
@@ -73,6 +74,25 @@ class SceneStoreStats:
         return self.hits / total if total else 1.0
 
 
+@dataclass(frozen=True)
+class SceneStoreSpec:
+    """Everything needed to rebuild a :class:`SceneStore` in another process.
+
+    Worker backends ship this (not the store itself) to shard stores across
+    shared-nothing processes: bundles are *rebuilt* in each worker, never
+    pickled.  The spec is picklable as long as the loader is (a module-level
+    function, or ``None`` for the default :func:`repro.api.load_scene`);
+    stores created with an unpicklable closure loader still spec fine under
+    the fork start method, which inherits the closure instead of pickling it.
+    """
+
+    memory_budget_bytes: Optional[int] = None
+    max_entries: Optional[int] = None
+    config: Optional[PipelineConfig] = None
+    scene_kwargs: Optional[Dict[str, object]] = None
+    loader: Optional[Callable[[str], SyntheticScene]] = None
+
+
 class SceneStore:
     """LRU cache of built ``(scene, field, engine)`` bundles under a budget.
 
@@ -95,6 +115,12 @@ class SceneStore:
     scene_kwargs:
         Keyword arguments for the default loader (resolution, image_size,
         num_views, num_samples, ...).
+    shard_index, num_shards:
+        Which shard of a worker-pool deployment this store is.  Purely
+        descriptive for a standalone store (``0`` of ``1``); worker backends
+        build one store per process via :meth:`from_spec`, which also divides
+        the memory budget so the *pool's* total residency stays within the
+        operator's budget.
     """
 
     def __init__(
@@ -104,19 +130,74 @@ class SceneStore:
         config: Union[PipelineConfig, SpNeRFConfig, None] = None,
         loader: Optional[Callable[[str], SyntheticScene]] = None,
         scene_kwargs: Optional[Dict[str, object]] = None,
+        shard_index: int = 0,
+        num_shards: int = 1,
     ) -> None:
         if memory_budget_bytes is not None and memory_budget_bytes <= 0:
             raise ValueError(f"memory_budget_bytes must be positive, got {memory_budget_bytes}")
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be at least 1, got {max_entries}")
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be at least 1, got {num_shards}")
+        if not 0 <= shard_index < num_shards:
+            raise ValueError(f"shard_index must be in [0, {num_shards}), got {shard_index}")
         self.memory_budget_bytes = memory_budget_bytes
         self.max_entries = max_entries
         self.config = PipelineConfig.coerce(config)
+        self.shard_index = shard_index
+        self.num_shards = num_shards
         self._scene_kwargs = dict(scene_kwargs or {})
         self._loader = loader
         self._entries: "OrderedDict[StoreKey, SceneBundleRecord]" = OrderedDict()
         self._scenes: Dict[str, SyntheticScene] = {}
         self._stats = SceneStoreStats()
+        #: The store is shared between the scheduler (scene-level planning
+        #: reads) and thread-backend workers (bundle builds): this reentrant
+        #: lock serializes every bundle-level entry point.  Builds are
+        #: *meant* to serialize — concurrently compressing the same scene
+        #: twice would waste far more than the lock ever costs.
+        self._lock = threading.RLock()
+        #: The scene cache has its own lock so the scheduler's planning reads
+        #: (:meth:`get_scene` on an already-cached scene) never stall behind
+        #: a worker's multi-second bundle build holding ``_lock``.  Ordering:
+        #: ``_lock`` may be held when taking ``_scene_lock``, never the
+        #: reverse.
+        self._scene_lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    def spec(self) -> SceneStoreSpec:
+        """The picklable construction recipe of this store (see the spec)."""
+        return SceneStoreSpec(
+            memory_budget_bytes=self.memory_budget_bytes,
+            max_entries=self.max_entries,
+            config=self.config,
+            scene_kwargs=dict(self._scene_kwargs),
+            loader=self._loader,
+        )
+
+    @classmethod
+    def from_spec(
+        cls, spec: SceneStoreSpec, shard_index: int = 0, num_shards: int = 1
+    ) -> "SceneStore":
+        """Build one shard's store from a spec.
+
+        The memory budget is divided evenly across shards (ceiling division,
+        so ``num_shards`` small shards still admit the bundle a single-shard
+        budget would); ``max_entries`` is per shard as-is, since entries
+        route to shards by ``(scene, pipeline)`` affinity and never repeat.
+        """
+        budget = spec.memory_budget_bytes
+        if budget is not None and num_shards > 1:
+            budget = -(-budget // num_shards)
+        return cls(
+            memory_budget_bytes=budget,
+            max_entries=spec.max_entries,
+            config=spec.config,
+            loader=spec.loader,
+            scene_kwargs=spec.scene_kwargs,
+            shard_index=shard_index,
+            num_shards=num_shards,
+        )
 
     # ------------------------------------------------------------------
     def get(self, scene_name: str, pipeline: str) -> SceneBundleRecord:
@@ -127,6 +208,24 @@ class SceneStore:
         field through the registry, wraps it in an engine, and evicts
         least-recently-used bundles until budget and entry limits hold again.
         """
+        with self._lock:
+            return self._get_locked(scene_name, pipeline)
+
+    def get_accounted(
+        self, scene_name: str, pipeline: str
+    ) -> Tuple[SceneBundleRecord, bool, float]:
+        """:meth:`get` plus the accounting execution backends report per tile:
+        ``(record, was_resident, build_seconds)``, read atomically under the
+        store lock so concurrent workers cannot misattribute builds."""
+        with self._lock:
+            misses_before = self._stats.misses
+            start = time.perf_counter()
+            record = self._get_locked(scene_name, pipeline)
+            elapsed = time.perf_counter() - start
+            cached = self._stats.misses == misses_before
+            return record, cached, (0.0 if cached else elapsed)
+
+    def _get_locked(self, scene_name: str, pipeline: str) -> SceneBundleRecord:
         key = (scene_name, pipeline)
         record = self._entries.get(key)
         if record is not None:
@@ -137,10 +236,7 @@ class SceneStore:
 
         self._stats.misses += 1
         start = time.perf_counter()
-        scene = self._scenes.get(scene_name)
-        if scene is None:
-            scene = self._load_scene(scene_name)
-            self._scenes[scene_name] = scene
+        scene = self.get_scene(scene_name)
         try:
             built = build_field(pipeline, scene, self.config)
         except Exception:
@@ -148,7 +244,8 @@ class SceneStore:
             # owning it, nothing would ever evict it (it is invisible to the
             # memory budget, which only sums entries).
             if not any(k[0] == scene_name for k in self._entries):
-                self._scenes.pop(scene_name, None)
+                with self._scene_lock:
+                    self._scenes.pop(scene_name, None)
             raise
         engine = RenderEngine(built, scene)
         elapsed = time.perf_counter() - start
@@ -166,6 +263,28 @@ class SceneStore:
         self._stats.build_time_s += elapsed
         self._evict_to_fit()
         return record
+
+    # ------------------------------------------------------------------
+    def get_scene(self, scene_name: str) -> SyntheticScene:
+        """The scene object alone, loaded (and cached) without building a field.
+
+        The scheduler uses this for planning — camera geometry, tile counts,
+        admission-cost estimates, reference images — which must not pay for a
+        field build the execution backend will do (possibly in another
+        process) anyway.  The cached scene is shared with any bundle later
+        built for it and is dropped with the scene's last resident bundle;
+        a scene that never gets a bundle on *this* store (the process-pool
+        scheduler's case — bundles live in the worker shards) stays cached
+        for the store's lifetime, so planners serving an unbounded scene
+        catalog should expect residency to track the catalog, not the
+        bundle budget.
+        """
+        with self._scene_lock:
+            scene = self._scenes.get(scene_name)
+            if scene is None:
+                scene = self._load_scene(scene_name)
+                self._scenes[scene_name] = scene
+            return scene
 
     # ------------------------------------------------------------------
     def _load_scene(self, scene_name: str) -> SyntheticScene:
@@ -188,37 +307,44 @@ class SceneStore:
     # ------------------------------------------------------------------
     def evict(self, key: StoreKey) -> bool:
         """Drop one bundle (and its scene, when no other pipeline uses it)."""
-        record = self._entries.pop(key, None)
-        if record is None:
-            return False
-        self._stats.evictions += 1
-        scene_name = key[0]
-        if not any(k[0] == scene_name for k in self._entries):
-            self._scenes.pop(scene_name, None)
-        return True
+        with self._lock:
+            record = self._entries.pop(key, None)
+            if record is None:
+                return False
+            self._stats.evictions += 1
+            scene_name = key[0]
+            if not any(k[0] == scene_name for k in self._entries):
+                with self._scene_lock:
+                    self._scenes.pop(scene_name, None)
+            return True
 
     def clear(self) -> None:
         """Drop every resident bundle and scene (counted as evictions)."""
-        for key in list(self._entries):
-            self.evict(key)
+        with self._lock:
+            for key in list(self._entries):
+                self.evict(key)
 
     # ------------------------------------------------------------------
     def contains(self, scene_name: str, pipeline: str) -> bool:
-        return (scene_name, pipeline) in self._entries
+        with self._lock:
+            return (scene_name, pipeline) in self._entries
 
     def resident_keys(self) -> Tuple[StoreKey, ...]:
         """Resident keys in LRU order (least recently used first)."""
-        return tuple(self._entries)
+        with self._lock:
+            return tuple(self._entries)
 
     def resident_bytes(self) -> int:
-        return sum(record.memory_bytes for record in self._entries.values())
+        with self._lock:
+            return sum(record.memory_bytes for record in self._entries.values())
 
     def stats(self) -> SceneStoreStats:
         """A snapshot of the store counters (copy — safe to keep)."""
-        snapshot = SceneStoreStats(**{
-            f: getattr(self._stats, f)
-            for f in ("hits", "misses", "evictions", "build_time_s")
-        })
-        snapshot.resident_entries = len(self._entries)
-        snapshot.resident_bytes = self.resident_bytes()
-        return snapshot
+        with self._lock:
+            snapshot = SceneStoreStats(**{
+                f: getattr(self._stats, f)
+                for f in ("hits", "misses", "evictions", "build_time_s")
+            })
+            snapshot.resident_entries = len(self._entries)
+            snapshot.resident_bytes = self.resident_bytes()
+            return snapshot

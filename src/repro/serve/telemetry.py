@@ -7,7 +7,8 @@ folds them, together with the scene store's counters, into a single
 into ``BENCH_serve.json`` and operators would scrape in production.
 
 Latency is split the way queueing systems are debugged: ``queue_wait`` (from
-submission to the first tile starting, including any bundle build) and
+submission to the job's first tile being dispatched to the execution
+backend; any bundle build a worker then pays is service time) and
 ``latency`` (submission to completion).  Percentiles use the standard linear
 interpolation of :func:`numpy.percentile`.
 """
@@ -37,16 +38,29 @@ class ServerStats:
     """One flat snapshot of a :class:`~repro.serve.server.RenderServer`.
 
     Counters cover the server's whole lifetime; queue depth and residency
-    describe the instant the snapshot was taken.
+    describe the instant the snapshot was taken.  ``backend``,
+    ``num_workers`` and ``worker_utilization`` describe the execution
+    backend: utilization is each worker's busy time (rendering + bundle
+    builds) over the wall time since the server first dispatched, so a
+    saturated 4-worker process pool reads ``[~1.0, ~1.0, ~1.0, ~1.0]`` and a
+    pool starved by affinity skew shows it immediately.
+    ``ooo_completions`` counts tiles that finished after a later-submitted
+    tile of the same job — always 0 under the serial backend, and the
+    direct measure of how much reordering the streaming delivery absorbs.
     """
 
     submitted: int = 0
     completed: int = 0
     rejected: int = 0
+    rejected_over_cost: int = 0
+    demoted_over_cost: int = 0
     expired: int = 0
     failed: int = 0
     queue_depth: int = 0
+    pending_cost: float = 0.0
     tiles_rendered: int = 0
+    ooo_completions: int = 0
+    dropped_tile_results: int = 0
     num_rays: int = 0
     busy_s: float = 0.0
     throughput_rays_per_s: float = 0.0
@@ -55,6 +69,9 @@ class ServerStats:
     queue_wait_p50_s: float = float("nan")
     queue_wait_p95_s: float = float("nan")
     vertex_reuse_ratio: float = 1.0
+    backend: str = "serial"
+    num_workers: int = 1
+    worker_utilization: List[float] = field(default_factory=list)
     store_hits: int = 0
     store_misses: int = 0
     store_hit_rate: float = 1.0
@@ -74,24 +91,31 @@ class Telemetry:
     submitted: int = 0
     completed: int = 0
     rejected: int = 0
+    rejected_over_cost: int = 0
+    demoted_over_cost: int = 0
     expired: int = 0
     failed: int = 0
     tiles_rendered: int = 0
+    ooo_completions: int = 0
+    dropped_tile_results: int = 0
     busy_s: float = 0.0
     render_stats: RenderStats = field(default_factory=RenderStats)
     latencies_s: List[float] = field(default_factory=list)
     queue_waits_s: List[float] = field(default_factory=list)
+    worker_busy_s: Dict[int, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
-    def record_tile(self, stats: RenderStats, service_s: float) -> None:
+    def record_tile(self, stats: RenderStats, service_s: float, worker_id: int = 0) -> None:
         """Fold one rendered tile's counters and service time in."""
         self.tiles_rendered += 1
         self.busy_s += service_s
         self.render_stats.merge(stats)
+        self.worker_busy_s[worker_id] = self.worker_busy_s.get(worker_id, 0.0) + service_s
 
-    def record_build(self, build_s: float) -> None:
-        """Bundle construction is service time too (it blocks the worker)."""
+    def record_build(self, build_s: float, worker_id: int = 0) -> None:
+        """Bundle construction is service time too (it blocks its worker)."""
         self.busy_s += build_s
+        self.worker_busy_s[worker_id] = self.worker_busy_s.get(worker_id, 0.0) + build_s
 
     def record_completion(self, latency_s: float, queue_wait_s: float) -> None:
         self.completed += 1
@@ -100,17 +124,37 @@ class Telemetry:
 
     # ------------------------------------------------------------------
     def snapshot(
-        self, queue_depth: int, store_stats: Optional[SceneStoreStats] = None
+        self,
+        queue_depth: int,
+        store_stats: Optional[SceneStoreStats] = None,
+        backend: str = "serial",
+        num_workers: int = 1,
+        wall_s: Optional[float] = None,
+        pending_cost: float = 0.0,
     ) -> ServerStats:
-        """Aggregate everything recorded so far into one :class:`ServerStats`."""
+        """Aggregate everything recorded so far into one :class:`ServerStats`.
+
+        ``wall_s`` is the elapsed wall time the per-worker utilizations are
+        normalized by; ``None`` (or a zero wall) reports zero utilization
+        rather than dividing by nothing.
+        """
+        utilization = [
+            (self.worker_busy_s.get(worker, 0.0) / wall_s) if wall_s else 0.0
+            for worker in range(num_workers)
+        ]
         stats = ServerStats(
             submitted=self.submitted,
             completed=self.completed,
             rejected=self.rejected,
+            rejected_over_cost=self.rejected_over_cost,
+            demoted_over_cost=self.demoted_over_cost,
             expired=self.expired,
             failed=self.failed,
             queue_depth=queue_depth,
+            pending_cost=pending_cost,
             tiles_rendered=self.tiles_rendered,
+            ooo_completions=self.ooo_completions,
+            dropped_tile_results=self.dropped_tile_results,
             num_rays=self.render_stats.num_rays,
             busy_s=self.busy_s,
             throughput_rays_per_s=(
@@ -121,6 +165,9 @@ class Telemetry:
             queue_wait_p50_s=percentile(self.queue_waits_s, 50),
             queue_wait_p95_s=percentile(self.queue_waits_s, 95),
             vertex_reuse_ratio=self.render_stats.vertex_reuse_ratio,
+            backend=backend,
+            num_workers=num_workers,
+            worker_utilization=utilization,
         )
         if store_stats is not None:
             stats.store_hits = store_stats.hits

@@ -43,6 +43,13 @@ class Tile:
         return np.arange(self.start, self.stop, dtype=np.int64)
 
 
+def _check_count(name: str, value) -> int:
+    """Validate one integral planner argument, rejecting floats and bools."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__} {value!r}")
+    return int(value)
+
+
 def plan_tiles(num_pixels: int, tile_size: int, camera_index: int = 0) -> List[Tile]:
     """Partition a view's ``num_pixels`` into contiguous tiles of ``tile_size``.
 
@@ -50,15 +57,37 @@ def plan_tiles(num_pixels: int, tile_size: int, camera_index: int = 0) -> List[T
     with ``chunk_size=tile_size`` (the last tile holds the remainder), which
     is what makes tile-sharded serving bit-identical to direct rendering —
     see the module docstring.
+
+    Every edge case is an explicit branch rather than a property of slicing:
+    a zero-pixel frame is an error (there is nothing to schedule, and a
+    silent empty plan would finalize a job with no image), a ``tile_size``
+    at or above ``num_pixels`` is exactly one full-frame tile, and a
+    non-divisible ``tile_size`` puts the remainder in the final tile.
     """
+    num_pixels = _check_count("num_pixels", num_pixels)
+    tile_size = _check_count("tile_size", tile_size)
     if num_pixels <= 0:
-        raise ValueError(f"num_pixels must be positive, got {num_pixels}")
+        raise ValueError(
+            f"num_pixels must be positive, got {num_pixels} (a zero-pixel frame "
+            "cannot be planned — check the camera geometry)"
+        )
     if tile_size <= 0:
         raise ValueError(f"tile_size must be positive, got {tile_size}")
-    return [
-        Tile(camera_index=camera_index, start=start, stop=min(start + tile_size, num_pixels))
-        for start in range(0, num_pixels, tile_size)
+    if tile_size >= num_pixels:
+        # One tile covering the whole frame; the schedule degenerates to a
+        # single engine call, still bit-identical to the direct render.
+        return [Tile(camera_index=camera_index, start=0, stop=num_pixels)]
+    num_full, remainder = divmod(num_pixels, tile_size)
+    tiles = [
+        Tile(camera_index=camera_index, start=i * tile_size, stop=(i + 1) * tile_size)
+        for i in range(num_full)
     ]
+    if remainder:
+        tiles.append(
+            Tile(camera_index=camera_index, start=num_full * tile_size, stop=num_pixels)
+        )
+    assert tiles[0].start == 0 and tiles[-1].stop == num_pixels
+    return tiles
 
 
 def assemble_tiles(

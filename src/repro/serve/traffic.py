@@ -10,9 +10,13 @@ Two canonical load shapes drive the serve benchmark:
   submitting the next the moment the previous completes.  This measures the
   server's sustainable throughput without unbounded queue growth.
 
-Both replayers pump the cooperative :meth:`RenderServer.step` loop
-themselves, so a benchmark is one ordinary function call — no threads, no
-event loop, reproducible schedules.
+Both replayers pump the :meth:`RenderServer.step` loop themselves, so a
+benchmark is one ordinary function call — no event loop, and (under the
+default serial backend) fully reproducible schedules.  The same replayers
+drive the pool backends unchanged: there, each ``step`` fills the worker
+queues up to capacity and folds back whatever completed, so closed-loop
+throughput measures the pool's real parallelism while the submission side
+stays single-threaded and deterministic.
 """
 
 from __future__ import annotations

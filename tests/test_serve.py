@@ -324,9 +324,11 @@ def test_server_releases_bundle_and_validates_tile_size(warm_store):
     server = RenderServer(warm_store)
     job = server.submit("lego", "dense")
     server.run_until_idle()
-    # A finished job must not pin its (scene, field, engine) bundle: the
-    # store's eviction would otherwise be defeated for retained jobs.
-    assert server._jobs[job].record is None
+    # A finished job must not pin per-tile shards (nor any bundle state —
+    # the scheduler never holds bundles at all, only the backend's workers
+    # do): the store's eviction would otherwise be defeated for retained
+    # jobs.
+    assert server._jobs[job].tile_images == {}
     assert server.result(job).memory_bytes > 0  # accounting was copied out
     with pytest.raises(ValueError, match="tile_size"):
         server.submit("lego", "dense", tile_size=0)
