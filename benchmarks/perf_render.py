@@ -2,13 +2,15 @@
 
 Times the dense / vqrf / spnerf pipelines through the public
 :class:`repro.api.RenderEngine` and writes ``BENCH_render.json`` at the repo
-root so the perf trajectory is tracked across PRs.  For spnerf, three
-variants are timed:
+root so the perf trajectory is tracked across PRs.  Every pipeline is timed
+in three variants:
 
-* ``baseline`` — the pre-optimisation code path: vertex-reuse decode cache
-  off, empty-cell cull off, per-sample view-direction encoding;
-* ``optimized`` — the default render (decode cache + cull + fused
-  interpolation + per-ray encoding); bit-identical images to ``baseline``;
+* ``baseline`` — the unguided exhaustive path: occupancy guidance off (and,
+  for spnerf, additionally the pre-optimisation path: vertex-reuse decode
+  cache off, empty-cell cull off, per-sample view-direction encoding);
+* ``optimized`` — the default render (occupancy-guided ray skipping +
+  empty-sample culling, decode cache, fused interpolation, per-ray/per-frame
+  encoding); bit-identical images to ``baseline``;
 * ``fast`` — the optimized path plus early ray termination
   (:meth:`RenderConfig.fast`), which trades <=threshold of pixel energy for
   time.
@@ -17,11 +19,15 @@ Usage::
 
     python benchmarks/perf_render.py --quick            # CI-sized run
     python benchmarks/perf_render.py                    # full-sized run
-    python benchmarks/perf_render.py --quick --max-spnerf-vs-dense 2.0
+    python benchmarks/perf_render.py --quick \
+        --max-spnerf-vs-dense 2.0 --min-dense-speedup 1.5 --min-vqrf-speedup 1.5
 
-The optional ``--max-spnerf-vs-dense`` guard exits non-zero when the
-optimized spnerf render is slower than the given multiple of the dense
-reference render — the cheap regression gate CI runs on every push.
+The guards exit non-zero on regression: ``--max-spnerf-vs-dense`` bounds the
+optimized spnerf render against the dense reference, ``--min-speedup`` bounds
+spnerf against its pre-optimisation baseline, and ``--min-dense-speedup`` /
+``--min-vqrf-speedup`` bound the occupancy-guided dense/vqrf renders against
+their unguided baselines (>=1.5x in CI, >=2x the local target).  Bit-identity
+of every pipeline's guided image is always enforced.
 """
 
 from __future__ import annotations
@@ -79,6 +85,22 @@ def parse_args(argv=None) -> argparse.Namespace:
         help="fail when the optimized spnerf speedup over the pre-optimisation "
         "baseline falls below RATIO",
     )
+    parser.add_argument(
+        "--min-dense-speedup",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="fail when the occupancy-guided dense render's speedup over the "
+        "unguided dense render falls below RATIO",
+    )
+    parser.add_argument(
+        "--min-vqrf-speedup",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="fail when the occupancy-guided vqrf render's speedup over the "
+        "unguided vqrf render falls below RATIO",
+    )
     return parser.parse_args(argv)
 
 
@@ -112,10 +134,25 @@ def time_render(field, scene, repeats: int, **request_kwargs):
 def make_baseline_spnerf(bundle):
     """The pre-optimisation spnerf field: every hot-path switch off."""
     field = field_from_bundle(
-        bundle, "spnerf", dedup_vertices=False, cull_empty_samples=False
+        bundle, "spnerf", dedup_vertices=False, cull_empty_samples=False, occupancy=False
     )
     field.accepts_encoded_dirs = False  # per-sample view-direction encoding
     return field
+
+
+def occupancy_stats(result):
+    """The occupancy counters a report entry records for one render."""
+    stats = result.stats
+    return {
+        "num_culled_samples": stats.num_culled_samples,
+        "num_skipped_rays": stats.num_skipped_rays,
+        "culled_fraction": (
+            stats.num_culled_samples / stats.num_samples if stats.num_samples else 0.0
+        ),
+        "skipped_ray_fraction": (
+            stats.num_skipped_rays / stats.num_rays if stats.num_rays else 0.0
+        ),
+    }
 
 
 def run(args: argparse.Namespace) -> int:
@@ -135,20 +172,30 @@ def run(args: argparse.Namespace) -> int:
 
     report = {"config": config, "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"), "pipelines": {}}
 
-    # Reference pipelines: default and fast-profile timings + PSNR.
+    # Reference pipelines: unguided baseline vs occupancy-guided default
+    # (bit-identity enforced) plus the fast profile and PSNR.
     for pipeline in ("dense", "vqrf"):
         field = build_field(pipeline, scene)
+        baseline_s, baseline_result = time_render(
+            field, scene, repeats, compare_to_reference=True, use_occupancy=False
+        )
         seconds, result = time_render(field, scene, repeats, compare_to_reference=True)
         fast_seconds, _ = time_render(
             field, scene, repeats, transmittance_threshold=1e-3
         )
+        identical = bool(np.array_equal(baseline_result.image, result.image))
         report["pipelines"][pipeline] = {
+            "baseline_render_s": baseline_s,
             "render_s": seconds,
             "fast_render_s": fast_seconds,
+            "speedup_vs_baseline": baseline_s / seconds,
+            "images_bit_identical_to_baseline": identical,
             "psnr": result.psnr[0],
+            **occupancy_stats(result),
         }
-        print(f"{pipeline:14s} render {seconds:7.3f}s  fast {fast_seconds:7.3f}s  "
-              f"psnr {result.psnr[0]:5.2f}")
+        print(f"{pipeline:14s} baseline {baseline_s:7.3f}s  occupancy {seconds:7.3f}s "
+              f"({baseline_s / seconds:4.2f}x)  fast {fast_seconds:7.3f}s  "
+              f"bit-identical={identical}  psnr {result.psnr[0]:5.2f}")
 
     # SpNeRF: pre-optimisation baseline vs optimized vs fast profile.
     baseline_field = make_baseline_spnerf(bundle)
@@ -177,6 +224,7 @@ def run(args: argparse.Namespace) -> int:
         "num_vertex_lookups": stats.num_vertex_lookups,
         "num_unique_vertex_fetches": stats.num_unique_vertex_fetches,
         "vertex_reuse_ratio": stats.vertex_reuse_ratio,
+        **occupancy_stats(optimized_result),
     }
     print(f"{'spnerf':14s} baseline {baseline_s:7.3f}s  optimized {optimized_s:7.3f}s "
           f"({baseline_s / optimized_s:4.2f}x)  fast {fast_s:7.3f}s "
@@ -188,6 +236,11 @@ def run(args: argparse.Namespace) -> int:
     failures = []
     if not identical:
         failures.append("optimized spnerf image is not bit-identical to the baseline path")
+    for pipeline in ("dense", "vqrf"):
+        if not report["pipelines"][pipeline]["images_bit_identical_to_baseline"]:
+            failures.append(
+                f"occupancy-guided {pipeline} image is not bit-identical to the unguided path"
+            )
     dense_s = report["pipelines"]["dense"]["render_s"]
     if args.max_spnerf_vs_dense is not None and optimized_s > args.max_spnerf_vs_dense * dense_s:
         failures.append(
@@ -199,9 +252,20 @@ def run(args: argparse.Namespace) -> int:
             f"spnerf speedup {baseline_s / optimized_s:.2f}x below required "
             f"{args.min_speedup:.2f}x"
         )
+    for pipeline, required in (
+        ("dense", args.min_dense_speedup),
+        ("vqrf", args.min_vqrf_speedup),
+    ):
+        achieved = report["pipelines"][pipeline]["speedup_vs_baseline"]
+        if required is not None and achieved < required:
+            failures.append(
+                f"{pipeline} occupancy speedup {achieved:.2f}x below required {required:.2f}x"
+            )
     report["guards"] = {
         "max_spnerf_vs_dense": args.max_spnerf_vs_dense,
         "min_speedup": args.min_speedup,
+        "min_dense_speedup": args.min_dense_speedup,
+        "min_vqrf_speedup": args.min_vqrf_speedup,
         "failures": failures,
     }
 

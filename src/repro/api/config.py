@@ -48,6 +48,14 @@ class PipelineConfig:
         entirely unoccupied in the bitmap.  Image-identical while bitmap
         masking is on (and automatically ignored when it is off); disable it
         when the decode diagnostics must count every cell, culled or not.
+    occupancy:
+        Enable renderer-level occupancy guidance for fields of this pipeline:
+        an :class:`~repro.nerf.occupancy.OccupancyIndex` built once per
+        bundle tightens ray intervals and culls empty-cell samples before
+        the field query.  Bit-identical images either way (culled samples
+        would decode to exactly zero); off only for benchmarking the
+        exhaustive path.  Independent of ``cull_empty_samples``, which
+        governs the SpNeRF field's internal cull.
 
     The bitmap-masking switch lives on the nested ``spnerf`` config
     (``use_bitmap_masking``) and routes there through :meth:`with_updates`
@@ -63,6 +71,7 @@ class PipelineConfig:
     cache_vqrf: bool = True
     dedup_vertices: bool = True
     cull_empty_samples: bool = True
+    occupancy: bool = True
 
     # ------------------------------------------------------------------
     def compression_key(self) -> Tuple:

@@ -58,6 +58,11 @@ class RenderRequest:
         request (``None`` keeps the config's value; 0.0 forces exhaustive
         sampling, a small positive value such as 1e-3 enables termination —
         see :meth:`~repro.nerf.renderer.RenderConfig.fast`).
+    use_occupancy:
+        Override the render config's occupancy-guidance switch for this
+        request (``None`` keeps the config's value; ``False`` renders
+        exhaustively — bit-identical, used by benchmarks to time the
+        unguided path).
     """
 
     camera_indices: Sequence[int] = (0,)
@@ -68,6 +73,7 @@ class RenderRequest:
     hardware_probe_resolution: int = 48
     chunk_size: Optional[int] = None
     transmittance_threshold: Optional[float] = None
+    use_occupancy: Optional[bool] = None
 
 
 #: Valid keyword names for requests built from ``RenderEngine.render(**kwargs)``.
@@ -151,6 +157,8 @@ class RenderResult:
             "num_vertex_lookups": self.stats.num_vertex_lookups,
             "num_unique_vertex_fetches": self.stats.num_unique_vertex_fetches,
             "vertex_reuse_ratio": self.stats.vertex_reuse_ratio,
+            "num_culled_samples": self.stats.num_culled_samples,
+            "num_skipped_rays": self.stats.num_skipped_rays,
             "memory_total_bytes": int(self.memory.get("total", 0)),
         }
 
@@ -240,6 +248,8 @@ class RenderEngine:
             cfg = replace(cfg, chunk_size=request.chunk_size)
         if request.transmittance_threshold is not None:
             cfg = replace(cfg, transmittance_threshold=request.transmittance_threshold)
+        if request.use_occupancy is not None:
+            cfg = replace(cfg, use_occupancy=request.use_occupancy)
         renderer = VolumetricRenderer(self.field, cfg)
 
         scene = self.scene

@@ -263,6 +263,7 @@ def field_from_bundle(
     use_bitmap_masking: Optional[bool] = None,
     dedup_vertices: bool = True,
     cull_empty_samples: bool = True,
+    occupancy: bool = True,
 ):
     """Construct a pipeline's field from an existing bundle, no recompute.
 
@@ -271,7 +272,8 @@ def field_from_bundle(
     built-in fields without re-running compression or preprocessing.
     ``dedup_vertices`` / ``cull_empty_samples`` are the SpNeRF hot-path
     switches (see :class:`~repro.api.config.PipelineConfig`); the dense and
-    VQRF pipelines ignore them.
+    VQRF pipelines ignore them.  ``occupancy`` is the renderer-level
+    occupancy-guidance switch every pipeline honours.
     """
     scene = bundle.scene
     if pipeline == "dense":
@@ -302,6 +304,7 @@ def field_from_bundle(
         )
     field.pipeline_name = pipeline
     field.scene = scene
+    field.use_occupancy = occupancy
     return field
 
 
@@ -327,6 +330,9 @@ def build_field(
         field.pipeline_name = name
     if getattr(field, "scene", None) is None:
         field.scene = scene
+    if getattr(field, "use_occupancy", None) is None:
+        # Builders that did not take a stance inherit the config's knob.
+        field.use_occupancy = cfg.occupancy
     return field
 
 
@@ -353,6 +359,7 @@ def _build_spnerf(scene: SyntheticScene, config: PipelineConfig):
         "spnerf",
         dedup_vertices=config.dedup_vertices,
         cull_empty_samples=config.cull_empty_samples,
+        occupancy=config.occupancy,
     )
 
 
@@ -366,4 +373,5 @@ def _build_spnerf_nomask(scene: SyntheticScene, config: PipelineConfig):
         "spnerf-nomask",
         dedup_vertices=config.dedup_vertices,
         cull_empty_samples=config.cull_empty_samples,
+        occupancy=config.occupancy,
     )

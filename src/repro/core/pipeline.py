@@ -48,15 +48,16 @@ class SpNeRFField:
         per-vertex function); off only for benchmarking the un-cached path.
     cull_empty_samples:
         Skip the whole 8-corner lattice/decode/interpolation for samples
-        whose voxel cell is entirely unoccupied — one gather into a
-        precomputed per-cell occupancy table (the OR of each cell's eight
-        bitmap bits).  Output-identical when bitmap masking is enabled,
-        because masking decodes every unoccupied vertex to exactly zero; it
-        is automatically disabled when masking is off, where hash collisions
-        make empty cells decode non-zero.  Note that culled cells never reach
-        the decoder, so :class:`DecodeStats` no longer counts their
-        empty-slot/masking diagnostics; pass ``cull_empty_samples=False`` to
-        recover the exhaustive counters.
+        whose voxel cell is entirely unoccupied — one gather into the
+        shared :class:`~repro.nerf.occupancy.OccupancyIndex` built from the
+        bitmap (the same index the renderer's occupancy guidance uses, so
+        there is exactly one cull implementation).  Output-identical when
+        bitmap masking is enabled, because masking decodes every unoccupied
+        vertex to exactly zero; it is automatically disabled when masking is
+        off, where hash collisions make empty cells decode non-zero.  Note
+        that culled cells never reach the decoder, so :class:`DecodeStats`
+        no longer counts their empty-slot/masking diagnostics; pass
+        ``cull_empty_samples=False`` to recover the exhaustive counters.
     """
 
     accepts_encoded_dirs = True
@@ -77,26 +78,27 @@ class SpNeRFField:
             model, use_bitmap_masking=use_bitmap_masking, deduplicate=dedup_vertices
         )
         self.cull_empty_samples = cull_empty_samples
-        self._cell_occupancy: Optional[np.ndarray] = None
         self.last_stats = RenderStats()
 
     # ------------------------------------------------------------------
-    def _cell_occupancy_table(self) -> np.ndarray:
-        """Flat ``(R-1)^3`` bool table: cell has at least one occupied corner.
+    def occupancy_grid(self):
+        """``(spec, vertex_mask)`` from the bitmap, or ``None`` without masking.
 
-        Derived once from the occupancy bitmap; the cull then costs a single
-        gather per sample instead of eight bitmap probes.
+        With bitmap masking on, every vertex the bitmap marks empty decodes
+        to exactly zero, so the bitmap is a sound occupancy source for both
+        the renderer's occupancy guidance and this field's own empty-cell
+        cull.  Without masking, hash collisions make empty cells decode
+        non-zero, so no occupancy index can be built.
         """
-        if self._cell_occupancy is None:
-            occupied = self.model.bitmap.to_dense()
-            cells = np.zeros_like(occupied[:-1, :-1, :-1])
-            for dx in (0, 1):
-                for dy in (0, 1):
-                    for dz in (0, 1):
-                        r = occupied.shape[0]
-                        cells |= occupied[dx : r - 1 + dx, dy : r - 1 + dy, dz : r - 1 + dz]
-            self._cell_occupancy = cells.reshape(-1)
-        return self._cell_occupancy
+        if not self.decoder.masking_enabled:
+            return None
+        return self.model.spec, self.model.bitmap.to_dense()
+
+    def occupancy_index(self):
+        """The field's shared (cached) occupancy index, or ``None``."""
+        from repro.nerf.occupancy import build_occupancy_index
+
+        return build_occupancy_index(self)
 
     # ------------------------------------------------------------------
     def query(
@@ -104,6 +106,7 @@ class SpNeRFField:
         points: np.ndarray,
         view_dirs: np.ndarray,
         encoded_dirs: Optional[np.ndarray] = None,
+        active_mask: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         points = np.asarray(points, dtype=np.float64)
         view_dirs = np.asarray(view_dirs, dtype=np.float64)
@@ -113,6 +116,8 @@ class SpNeRFField:
         density = np.zeros(n, dtype=np.float64)
         rgb = np.zeros((n, 3), dtype=np.float64)
         inside = spec.contains(points)
+        if active_mask is not None:
+            inside = inside & np.asarray(active_mask, dtype=bool)
         if not np.any(inside):
             # Fresh counters on the early-return path too: the active-sample
             # and vertex-lookup counts must read 0, not the previous query's.
@@ -127,16 +132,16 @@ class SpNeRFField:
         # Coarse empty-space cull: a sample whose voxel cell holds no occupied
         # corner would decode to exactly zero anyway (masking zeroes every
         # unoccupied vertex), so the lattice, decode and interpolation are all
-        # skipped for it.  The cell index matches the interpolation's base
-        # vertex (floor clipped into the grid).
+        # skipped for it.  The verdict comes from the shared occupancy index
+        # (one gather per sample), whose cell convention matches the
+        # interpolation's base vertex.
         keep = None
         if self.cull_empty_samples and self.decoder.masking_enabled:
-            res = spec.resolution
-            base = np.clip(np.floor(grid_coords).astype(np.int64), 0, res - 2)
-            cell = (base[:, 0] * (res - 1) + base[:, 1]) * (res - 1) + base[:, 2]
-            keep = np.flatnonzero(self._cell_occupancy_table()[cell])
-            if keep.size == k:
-                keep = None  # nothing culled; interpolate everything in place
+            index = self.occupancy_index()
+            if index is not None:
+                keep = np.flatnonzero(index.cell_mask(grid_coords))
+                if keep.size == k:
+                    keep = None  # nothing culled; interpolate everything in place
 
         unique_before = self.decoder.stats.num_unique_lookups
         live_coords = grid_coords if keep is None else grid_coords[keep]

@@ -34,6 +34,7 @@ class SyntheticScene:
     render_config: RenderConfig = field(default_factory=RenderConfig)
     _sparse: Optional[SparseVoxelGrid] = field(default=None, repr=False)
     _reference_cache: Dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+    _reference_field: Optional[DenseGridField] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     @property
@@ -56,8 +57,17 @@ class SyntheticScene:
 
     # ------------------------------------------------------------------
     def reference_field(self) -> DenseGridField:
-        """The dense reference radiance field (ground truth)."""
-        return DenseGridField(self.grid, self.mlp, self.render_config.num_view_frequencies)
+        """The dense reference radiance field (ground truth), computed once.
+
+        Cached on the scene so per-field lazy state — notably the occupancy
+        index — survives across the many reference renders a PSNR sweep
+        issues, instead of being rebuilt per call.
+        """
+        if self._reference_field is None:
+            self._reference_field = DenseGridField(
+                self.grid, self.mlp, self.render_config.num_view_frequencies
+            )
+        return self._reference_field
 
     def reference_image(self, camera_index: int = 0) -> np.ndarray:
         """Render (and cache) the ground-truth image for one camera."""

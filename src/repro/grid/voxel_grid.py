@@ -81,6 +81,19 @@ class GridSpec:
         lo = np.asarray(self.bbox_min, dtype=np.float64)
         return c * self.voxel_size + lo
 
+    def cell_indices(self, grid_coords: np.ndarray) -> np.ndarray:
+        """Interpolation cell (base vertex) of continuous grid coordinates.
+
+        ``clip(floor(coords), 0, resolution - 2)`` — exactly the base-vertex
+        convention of
+        :func:`~repro.grid.interpolation.trilinear_vertices_and_weights`, so a
+        sample's cell names precisely the eight vertices its interpolation
+        reads.  Shared by the occupancy index and the SpNeRF empty-cell cull
+        so "this cell is empty" always means "all eight corners are zero".
+        """
+        coords = np.asarray(grid_coords, dtype=np.float64)
+        return np.clip(np.floor(coords).astype(np.int64), 0, self.resolution - 2)
+
     def contains(self, points: np.ndarray) -> np.ndarray:
         """Boolean mask of world-space points inside the bounding box."""
         pts = np.asarray(points, dtype=np.float64)

@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.pipeline import SpNeRFBundle
 from repro.datasets.synthetic import SyntheticScene
 from repro.nerf.mlp import MLPSpec
+from repro.nerf.occupancy import build_occupancy_index
 from repro.nerf.rays import generate_rays, ray_aabb_intersect, sample_along_rays
 from repro.nerf.volume_rendering import compute_weights, density_to_alpha
 
@@ -66,6 +67,16 @@ class FrameWorkload:
     #: (adjacent samples share corners; the double-buffered on-chip decode
     #: serves repeats from SRAM).  1.0 = no reuse measured.
     vertex_reuse: float = 1.0
+    #: Occupancy-guided rendering: per-ray samples the occupancy index culls
+    #: out of the processed set before any decode, and the fraction of rays
+    #: it answers as background without a single query.  Zero when the field
+    #: has no index; ``processed_samples_per_ray`` keeps its exhaustive
+    #: meaning (what a renderer without occupancy guidance processes) so the
+    #: calibrated accelerator/GPU comparisons are unchanged — consumers that
+    #: model the occupancy-guided software path subtract
+    #: ``occupancy_culled_samples_per_ray`` from it.
+    occupancy_culled_samples_per_ray: float = 0.0
+    occupancy_skipped_ray_fraction: float = 0.0
     spnerf_memory: Dict[str, int] = field(default_factory=dict)
     vqrf_restored_bytes: int = 0
     vqrf_compressed_bytes: int = 0
@@ -90,6 +101,21 @@ class FrameWorkload:
     def active_samples(self) -> int:
         """Samples touching occupied voxels (these run the MLP)."""
         return int(round(self.num_rays * self.active_samples_per_ray))
+
+    @property
+    def num_culled_samples(self) -> int:
+        """Frame-total samples the occupancy index culls before any decode."""
+        return int(round(self.num_rays * self.occupancy_culled_samples_per_ray))
+
+    @property
+    def num_skipped_rays(self) -> int:
+        """Frame-total rays answered as background without a field query."""
+        return int(round(self.num_rays * self.occupancy_skipped_ray_fraction))
+
+    @property
+    def occupancy_processed_samples(self) -> int:
+        """Samples an occupancy-guided renderer actually processes."""
+        return max(0, self.processed_samples - self.num_culled_samples)
 
     @property
     def vertex_lookups(self) -> int:
@@ -260,6 +286,19 @@ def workload_from_render(
     processed_per_ray = float(np.mean(processed.sum(axis=-1)))
     active_per_ray = float(np.mean(active_processed.sum(axis=-1)))
 
+    # Occupancy-guided rendering: measure, with the field's shared index,
+    # how much of the processed set the renderer's occupancy cull removes
+    # and how many rays it skips outright — the workload the software render
+    # path actually performs.  (``processed_per_ray`` itself deliberately
+    # keeps its exhaustive meaning; see :class:`FrameWorkload`.)
+    occupancy_culled_per_ray = 0.0
+    occupancy_skipped_fraction = 0.0
+    occ_index = build_occupancy_index(field_obj)
+    if occ_index is not None:
+        occ_mask = occ_index.point_mask(flat_points).reshape(n, s)
+        occupancy_culled_per_ray = float(np.mean((processed & ~occ_mask).sum(axis=-1)))
+        occupancy_skipped_fraction = float(np.mean(~occ_mask.any(axis=-1)))
+
     # Vertex reuse measured by the probe render itself: the field's decode
     # cache reports how many of the 8-per-sample lookups were physical.
     vertex_reuse = 1.0
@@ -283,6 +322,8 @@ def workload_from_render(
         feature_dim=spec.feature_dim,
         num_nonzero_voxels=scene.sparse_grid.num_points,
         vertex_reuse=vertex_reuse,
+        occupancy_culled_samples_per_ray=occupancy_culled_per_ray,
+        occupancy_skipped_ray_fraction=occupancy_skipped_fraction,
         spnerf_memory=bundle.spnerf_model.memory_breakdown(),
         vqrf_restored_bytes=bundle.vqrf_model.restored_size_bytes(),
         vqrf_compressed_bytes=bundle.vqrf_model.compressed_size_bytes()["total"],

@@ -17,6 +17,7 @@ throughout the evaluation.
 from repro.nerf.encoding import positional_encoding, view_encoding_dim
 from repro.nerf.metrics import mse, psnr, ssim
 from repro.nerf.mlp import MLP, MLPSpec, build_decoder_mlp
+from repro.nerf.occupancy import OccupancyIndex, build_occupancy_index
 from repro.nerf.rays import (
     Camera,
     RayBatch,
@@ -51,6 +52,8 @@ __all__ = [
     "DenseGridField",
     "RenderConfig",
     "VolumetricRenderer",
+    "OccupancyIndex",
+    "build_occupancy_index",
     "mse",
     "psnr",
     "ssim",

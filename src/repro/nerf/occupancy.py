@@ -1,0 +1,288 @@
+"""Occupancy acceleration shared by every rendering pipeline.
+
+The paper's core speed trick — skip empty space — was until now exploited
+only inside the SpNeRF field (its bitmap-based empty-cell cull).  This module
+generalises it: an :class:`OccupancyIndex` is a coarse boolean *cell* grid
+derived from any field's density/feature grids, built once per bundle and
+cached on the field, that the :class:`~repro.nerf.renderer.VolumetricRenderer`
+consults to
+
+* tighten each ray's integration interval to the occupied region (rays that
+  miss occupancy entirely are answered as background without a single field
+  query), and
+* cull individual samples landing in empty cells *before* the field query,
+  gathering the survivors into one contiguous batch.
+
+Both are bit-identity-safe by construction: a cell is marked empty only when
+every vertex of the underlying grid it covers is zero, so every culled sample
+would have decoded to exactly zero density and zero color — compositing the
+unchanged zero-filled arrays produces the same image to the last bit (empty
+rays composite to exactly the background, since ``alpha = 1 - exp(0) = 0``
+makes every weight exactly zero).  Conservativeness is guaranteed by testing
+the *actual sample points* against the cell grid rather than a geometric DDA,
+so no floating-point disagreement between traversal and sampling can ever
+skip a non-empty sample; the ray-interval clamp uses the occupied region's
+axis-aligned bounding box padded by one voxel for the same reason.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.grid.voxel_grid import GridSpec
+from repro.nerf.rays import ray_aabb_interval
+
+__all__ = ["OccupancyIndex", "build_occupancy_index"]
+
+#: Cache attribute under which a field's built index (or None) is stored.
+_CACHE_ATTR = "_occupancy_index"
+_UNBUILT = object()
+
+
+def _dilate_cells(mask: np.ndarray, steps: int) -> np.ndarray:
+    """Grow a boolean cell mask by ``steps`` cells (26-neighbourhood cube).
+
+    Implemented as a separable per-axis shift-OR (a box dilation equals the
+    composition of the three axis dilations), so no scipy dependency is
+    needed.  Dilation only ever *adds* occupied cells, preserving the
+    conservative-superset property.
+    """
+    out = mask
+    for _ in range(steps):
+        for axis in range(out.ndim):
+            src = out
+            grown = src.copy()
+            lo = [slice(None)] * src.ndim
+            hi = [slice(None)] * src.ndim
+            lo[axis] = slice(None, -1)
+            hi[axis] = slice(1, None)
+            # OR against the pre-dilation array (not in place against
+            # overlapping views of itself, which would cascade the shift).
+            grown[tuple(lo)] |= src[tuple(hi)]
+            grown[tuple(hi)] |= src[tuple(lo)]
+            out = grown
+    return out
+
+
+class OccupancyIndex:
+    """Coarse boolean cell-occupancy grid over one field's domain.
+
+    Parameters
+    ----------
+    spec:
+        Geometry of the underlying voxel grid (``R`` vertices per axis,
+        ``R - 1`` fine interpolation cells per axis).
+    cells:
+        Boolean occupancy per *coarse* cell, shape ``(C, C, C)`` with
+        ``C = ceil((R - 1) / coarsen)``.  ``True`` means "some vertex of some
+        fine cell inside this coarse cell may be non-zero"; ``False`` is a
+        guarantee of emptiness.
+    coarsen:
+        Edge length, in fine cells, of one coarse cell.
+
+    Build indices with :meth:`from_vertex_mask` / :meth:`from_grid` (or, for
+    renderer use, :func:`build_occupancy_index`) rather than directly.
+    """
+
+    def __init__(self, spec: GridSpec, cells: np.ndarray, coarsen: int = 1) -> None:
+        if coarsen < 1:
+            raise ValueError(f"coarsen must be at least 1, got {coarsen}")
+        cells = np.ascontiguousarray(cells, dtype=bool)
+        expected = -(-(spec.resolution - 1) // coarsen)
+        if cells.shape != (expected,) * 3:
+            raise ValueError(
+                f"cells shape {cells.shape} does not match "
+                f"({expected}, {expected}, {expected}) for resolution "
+                f"{spec.resolution} at coarsen {coarsen}"
+            )
+        self.spec = spec
+        self.coarsen = int(coarsen)
+        self.cells = cells
+        self._flat = cells.reshape(-1)
+        self._aabb: Optional[Tuple[np.ndarray, np.ndarray]] = self._occupied_aabb()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_vertex_mask(
+        cls,
+        spec: GridSpec,
+        vertex_mask: np.ndarray,
+        coarsen: int = 1,
+        dilation: int = 0,
+    ) -> "OccupancyIndex":
+        """Build from a per-vertex boolean occupancy mask ``(R, R, R)``.
+
+        A fine cell is occupied when *any* of its eight corner vertices is
+        occupied (exactly the condition under which trilinear interpolation
+        inside it can be non-zero); coarse cells OR their fine cells, and
+        ``dilation`` optionally grows the result — every step keeps the index
+        a conservative superset of the non-zero region.
+        """
+        occupied = np.asarray(vertex_mask, dtype=bool)
+        r = spec.resolution
+        if occupied.shape != (r, r, r):
+            raise ValueError(
+                f"vertex_mask shape {occupied.shape} does not match resolution {r}"
+            )
+        cells = np.zeros((r - 1,) * 3, dtype=bool)
+        for dx in (0, 1):
+            for dy in (0, 1):
+                for dz in (0, 1):
+                    cells |= occupied[dx : r - 1 + dx, dy : r - 1 + dy, dz : r - 1 + dz]
+        if coarsen > 1:
+            c = -(-(r - 1) // coarsen)
+            padded = np.zeros((c * coarsen,) * 3, dtype=bool)
+            padded[: r - 1, : r - 1, : r - 1] = cells
+            cells = padded.reshape(c, coarsen, c, coarsen, c, coarsen).any(axis=(1, 3, 5))
+        if dilation > 0:
+            cells = _dilate_cells(cells, dilation)
+        return cls(spec, cells, coarsen=coarsen)
+
+    @classmethod
+    def from_grid(
+        cls, grid, coarsen: int = 1, dilation: int = 0
+    ) -> "OccupancyIndex":
+        """Build from a :class:`~repro.grid.voxel_grid.VoxelGrid`."""
+        return cls.from_vertex_mask(
+            grid.spec, grid.occupancy_mask(), coarsen=coarsen, dilation=dilation
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        return int(self._flat.size)
+
+    @property
+    def num_occupied_cells(self) -> int:
+        return int(self._flat.sum())
+
+    @property
+    def occupancy_fraction(self) -> float:
+        return self.num_occupied_cells / self.num_cells
+
+    @property
+    def memory_bytes(self) -> int:
+        """Resident size of the index (the boolean cell grid)."""
+        return int(self.cells.nbytes)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _occupied_aabb(self) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """World AABB of the occupied cells, padded by one voxel per side.
+
+        The padding swallows any floating-point disagreement between the slab
+        test's ``t`` arithmetic and the sample positions ``o + t * d``, so a
+        sample whose cell is occupied can never fall outside the clamped
+        interval.  ``None`` when nothing is occupied.
+        """
+        if not self._flat.any():
+            return None
+        idx = np.argwhere(self.cells)
+        lo_cell = idx.min(axis=0) * self.coarsen
+        hi_cell = np.minimum(
+            (idx.max(axis=0) + 1) * self.coarsen, self.spec.resolution - 1
+        )
+        voxel = self.spec.voxel_size
+        lo = self.spec.grid_to_world(lo_cell.astype(np.float64)) - voxel
+        hi = self.spec.grid_to_world(hi_cell.astype(np.float64)) + voxel
+        return lo, hi
+
+    def cell_mask(self, grid_coords: np.ndarray) -> np.ndarray:
+        """Occupancy of samples given as continuous *grid* coordinates.
+
+        The cell of a sample is its interpolation base vertex —
+        ``clip(floor(coords), 0, R - 2)`` — matching
+        :func:`~repro.grid.interpolation.trilinear_vertices_and_weights`
+        exactly, so "cell unoccupied" is precisely "all eight interpolation
+        corners are zero".
+        """
+        base = self.spec.cell_indices(grid_coords)
+        if self.coarsen > 1:
+            base = base // self.coarsen
+        c = self.cells.shape[0]
+        flat = (base[:, 0] * c + base[:, 1]) * c + base[:, 2]
+        return self._flat[flat]
+
+    def point_mask(self, points: np.ndarray) -> np.ndarray:
+        """Occupancy of world-space sample points (False outside the bbox).
+
+        ``False`` guarantees the field decodes the point to zero density and
+        zero color: outside-bbox points are zeroed by every field, and
+        inside-bbox points in an unoccupied cell interpolate eight zero
+        vertices.
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        inside = self.spec.contains(pts)
+        result = np.zeros(pts.shape[:-1], dtype=bool)
+        if np.any(inside):
+            result[inside] = self.cell_mask(self.spec.world_to_grid(pts[inside]))
+        return result
+
+    def clip_rays(
+        self,
+        origins: np.ndarray,
+        directions: np.ndarray,
+        near: np.ndarray,
+        far: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Clamp per-ray ``[near, far]`` to the occupied region's padded AABB.
+
+        Returns ``(near, far, hit)``; rays with ``hit == False`` provably
+        traverse only empty space (their samples all decode to zero), so the
+        renderer answers them as background without querying the field.  The
+        interval is conservative: any sample whose cell is occupied lies
+        strictly inside the padded AABB, hence within the clamped interval.
+        """
+        near = np.asarray(near, dtype=np.float64)
+        far = np.asarray(far, dtype=np.float64)
+        if self._aabb is None:
+            missed = np.zeros(near.shape, dtype=bool)
+            return near, near.copy(), missed
+        lo, hi = self._aabb
+        t_near, t_far = ray_aabb_interval(origins, directions, lo, hi)
+        clipped_near = np.maximum(near, t_near)
+        clipped_far = np.minimum(far, t_far)
+        hit = clipped_far >= clipped_near
+        return clipped_near, clipped_far, hit
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"OccupancyIndex(resolution={self.spec.resolution}, "
+            f"coarsen={self.coarsen}, occupied={self.occupancy_fraction:.4f})"
+        )
+
+
+def build_occupancy_index(field) -> Optional[OccupancyIndex]:
+    """The field's shared occupancy index, built once and cached on the field.
+
+    Fields advertise their occupancy through an ``occupancy_grid()`` method
+    returning ``(spec, vertex_mask)`` — or ``None`` when no sound occupancy
+    exists (e.g. SpNeRF with bitmap masking disabled, where hash collisions
+    make empty cells decode non-zero).  Fields without the method, or whose
+    occupancy is unavailable, yield ``None`` and render exhaustively.
+
+    The result (including ``None``) is cached on the field instance, so the
+    index is built once per bundle regardless of how many renderers or
+    engines wrap the field.  Note this is deliberately independent of the
+    ``use_occupancy`` rendering knobs: the SpNeRF field's own empty-cell cull
+    uses the same cached index even when renderer-level occupancy is off.
+    """
+    cached = getattr(field, _CACHE_ATTR, _UNBUILT)
+    if cached is not _UNBUILT:
+        return cached
+    index: Optional[OccupancyIndex] = None
+    occupancy_grid = getattr(field, "occupancy_grid", None)
+    if occupancy_grid is not None:
+        described = occupancy_grid()
+        if described is not None:
+            spec, vertex_mask = described
+            index = OccupancyIndex.from_vertex_mask(spec, vertex_mask)
+    setattr(field, _CACHE_ATTR, index)
+    return index

@@ -20,6 +20,7 @@ __all__ = [
     "RayBatch",
     "look_at_pose",
     "generate_rays",
+    "ray_aabb_interval",
     "ray_aabb_intersect",
     "sample_along_rays",
 ]
@@ -181,6 +182,36 @@ def generate_rays(
     )
 
 
+def ray_aabb_interval(
+    origins: np.ndarray,
+    directions: np.ndarray,
+    bbox_min,
+    bbox_max,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-ray entry/exit parameters against an axis-aligned bounding box.
+
+    The standard slab method on bare arrays: returns ``(t_near, t_far)`` with
+    ``t_far < t_near`` for rays missing the box.  Shared by the scene-bbox
+    clip below and the occupancy index's occupied-region ray clamp.
+    """
+    origins = np.asarray(origins, dtype=np.float64)
+    directions = np.asarray(directions, dtype=np.float64)
+    lo = np.asarray(bbox_min, dtype=np.float64)
+    hi = np.asarray(bbox_max, dtype=np.float64)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inv_dir = np.where(
+            np.abs(directions) > 1e-12,
+            1.0 / directions,
+            np.sign(directions) * 1e12 + (directions == 0) * 1e12,
+        )
+    t0 = (lo - origins) * inv_dir
+    t1 = (hi - origins) * inv_dir
+    t_near = np.max(np.minimum(t0, t1), axis=-1)
+    t_far = np.min(np.maximum(t0, t1), axis=-1)
+    return t_near, t_far
+
+
 def ray_aabb_intersect(
     rays: RayBatch,
     bbox_min: Tuple[float, float, float],
@@ -189,21 +220,9 @@ def ray_aabb_intersect(
     """Clip ray integration bounds against an axis-aligned bounding box.
 
     Rays that miss the box get ``far <= near`` so they composite to the
-    background only.  Uses the standard slab method.
+    background only.
     """
-    lo = np.asarray(bbox_min, dtype=np.float64)
-    hi = np.asarray(bbox_max, dtype=np.float64)
-
-    with np.errstate(divide="ignore", invalid="ignore"):
-        inv_dir = np.where(
-            np.abs(rays.directions) > 1e-12,
-            1.0 / rays.directions,
-            np.sign(rays.directions) * 1e12 + (rays.directions == 0) * 1e12,
-        )
-    t0 = (lo - rays.origins) * inv_dir
-    t1 = (hi - rays.origins) * inv_dir
-    t_near = np.max(np.minimum(t0, t1), axis=-1)
-    t_far = np.min(np.maximum(t0, t1), axis=-1)
+    t_near, t_far = ray_aabb_interval(rays.origins, rays.directions, bbox_min, bbox_max)
 
     near = np.maximum(rays.near, t_near)
     far = np.minimum(rays.far, t_far)

@@ -28,6 +28,7 @@ from typing import Callable, Dict, Optional, Tuple, Union
 from repro.api import PipelineConfig, RenderEngine, build_field
 from repro.core.config import SpNeRFConfig
 from repro.datasets.synthetic import SyntheticScene, load_scene
+from repro.nerf.occupancy import build_occupancy_index
 
 __all__ = ["SceneBundleRecord", "SceneStoreStats", "SceneStoreSpec", "SceneStore"]
 
@@ -248,8 +249,15 @@ class SceneStore:
                     self._scenes.pop(scene_name, None)
             raise
         engine = RenderEngine(built, scene)
+        # Build the occupancy index with the bundle (eagerly, so the first
+        # tile never pays for it and concurrent first-tile workers cannot
+        # race to build it twice) and count it against the memory budget
+        # alongside the field it accelerates.
+        index = build_occupancy_index(built)
         elapsed = time.perf_counter() - start
         memory = built.memory_report().get("total", 0) if hasattr(built, "memory_report") else 0
+        if index is not None:
+            memory += index.memory_bytes
         record = SceneBundleRecord(
             key=key,
             scene=scene,

@@ -62,6 +62,8 @@ class ServerStats:
     ooo_completions: int = 0
     dropped_tile_results: int = 0
     num_rays: int = 0
+    num_culled_samples: int = 0
+    num_skipped_rays: int = 0
     busy_s: float = 0.0
     throughput_rays_per_s: float = 0.0
     latency_p50_s: float = float("nan")
@@ -156,6 +158,8 @@ class Telemetry:
             ooo_completions=self.ooo_completions,
             dropped_tile_results=self.dropped_tile_results,
             num_rays=self.render_stats.num_rays,
+            num_culled_samples=self.render_stats.num_culled_samples,
+            num_skipped_rays=self.render_stats.num_skipped_rays,
             busy_s=self.busy_s,
             throughput_rays_per_s=(
                 self.render_stats.num_rays / self.busy_s if self.busy_s > 0 else 0.0

@@ -175,10 +175,22 @@ class VQRFField:
         self.num_view_frequencies = num_view_frequencies
         self.last_stats = self._dense_field.last_stats
 
-    def query(self, points: np.ndarray, view_dirs: np.ndarray, encoded_dirs=None):
-        density, rgb = self._dense_field.query(points, view_dirs, encoded_dirs=encoded_dirs)
+    def query(self, points: np.ndarray, view_dirs: np.ndarray, encoded_dirs=None, active_mask=None):
+        density, rgb = self._dense_field.query(
+            points, view_dirs, encoded_dirs=encoded_dirs, active_mask=active_mask
+        )
         self.last_stats = self._dense_field.last_stats
         return density, rgb
+
+    # ------------------------------------------------------------------
+    def occupancy_grid(self):
+        """Occupancy of the *restored* grid (what this field actually renders).
+
+        Restoring writes only the surviving voxels, so the mask is exact for
+        the rendered values — cells it reports empty interpolate to exactly
+        zero regardless of what the pre-compression scene held there.
+        """
+        return self._dense_field.occupancy_grid()
 
     # ------------------------------------------------------------------
     @property
