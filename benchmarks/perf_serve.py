@@ -22,17 +22,26 @@ rendered directly by the bundle's :class:`~repro.api.RenderEngine` — the
 serve layer must be a scheduler, not a new renderer, and a process worker's
 rebuilt bundle must render the very same bits.  A mismatch fails the run.
 
+With ``--http`` the run also stands up the :mod:`repro.serve.http` front end
+and replays a multi-client orbit workload over real sockets (one asyncio
+client per identity, open loop), reporting per-client latency percentiles,
+aggregate HTTP throughput and the edge's own telemetry — and guarding that a
+frame fetched through ``GET /v1/jobs/{id}/result`` is bit-identical to the
+direct engine render.
+
 Usage::
 
     python benchmarks/perf_serve.py --quick          # CI-sized smoke profile
     python benchmarks/perf_serve.py                  # full-sized run
     python benchmarks/perf_serve.py --quick --backend process --workers 4
     python benchmarks/perf_serve.py --quick --min-pool-speedup 1.5
+    python benchmarks/perf_serve.py --quick --http   # + HTTP edge section
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
 import sys
@@ -103,6 +112,14 @@ def parse_args(argv=None) -> argparse.Namespace:
         help="fail when the process pool's closed-loop throughput is below X times serial",
     )
     parser.add_argument(
+        "--http",
+        action="store_true",
+        help="also benchmark the HTTP/SSE front end (multi-client open loop)",
+    )
+    parser.add_argument(
+        "--http-clients", type=int, default=3, help="concurrent HTTP client identities"
+    )
+    parser.add_argument(
         "--memory-budget-mb", type=float, default=None, help="scene-store budget (MB)"
     )
     parser.add_argument("--seed", type=int, default=0, help="traffic seed")
@@ -142,6 +159,7 @@ def resolve_config(args: argparse.Namespace) -> dict:
     config["tile_size"] = args.tile_size
     config["backend"] = args.backend
     config["workers"] = args.workers
+    config["http_clients"] = args.http_clients
     config["seed"] = args.seed
     config["quick"] = bool(args.quick)
     # Pool speedups are bounded by the cores this process may actually use
@@ -243,6 +261,99 @@ def run_backend_comparison(store: SceneStore, config: dict, workers: int = None)
         pool_tput / serial_tput if serial_tput > 0 else 0.0
     )
     return comparison
+
+
+def run_http_section(store: SceneStore, config: dict, workers: int = None) -> dict:
+    """Benchmark the HTTP/SSE edge with real sockets and concurrent clients.
+
+    One front end over one server (the ``--backend`` choice); each client
+    identity replays an orbit trace open loop — arrivals never wait for
+    completions, so the measured latencies include queueing exactly as a
+    network client would see it.  The section also re-checks bit-identity
+    through the full HTTP path: submit → poll → ``GET /result`` bytes.
+    """
+    from repro.serve.http import HttpRenderFrontEnd, RenderClient
+    from repro.serve.traffic import http_open_loop, orbit_workload
+
+    scenes, pipelines = config["scenes"], config["pipelines"]
+    server = RenderServer(
+        store,
+        backend=make_backend(config["backend"], workers),
+        default_tile_size=config["tile_size"],
+    )
+    edge = HttpRenderFrontEnd(server)
+    host, port = edge.run_in_thread()
+    section: dict = {"address": f"{host}:{port}"}
+    try:
+        # Bit-identity through the full network path, odd tile size on purpose.
+        scene, pipeline = scenes[0], pipelines[-1]
+        tile_size = 193
+        direct = store.get(scene, pipeline).engine.render(
+            camera_indices=(0,), chunk_size=tile_size
+        ).image
+
+        async def fetch():
+            async with RenderClient(host, port, api_key="identity") as client:
+                return await client.render(scene=scene, pipeline=pipeline, tile_size=tile_size)
+
+        frame, _meta = asyncio.run(fetch())
+        section["bit_identical_over_http"] = bool(np.array_equal(frame, direct))
+
+        # Multi-client open loop: one orbit trace per client identity.
+        interval = 1.0 / config["rate_hz"]
+        items = []
+        for index in range(config["http_clients"]):
+            items.extend(
+                orbit_workload(
+                    scenes[index % len(scenes)],
+                    pipelines[index % len(pipelines)],
+                    num_cameras=1,
+                    num_frames=config["requests"],
+                    frame_interval_s=interval,
+                    client=f"client-{index}",
+                )
+            )
+        start = time.perf_counter()
+        records = http_open_loop(host, port, items, fetch_results=True)
+        wall = time.perf_counter() - start
+
+        async def scrape():
+            async with RenderClient(host, port, api_key="scrape") as client:
+                return await client.stats()
+
+        stats = asyncio.run(scrape())
+        per_client = {}
+        for record in records:
+            per_client.setdefault(record["client"], []).append(record)
+        section["per_client"] = {
+            client: {
+                "requests": len(group),
+                "completed": sum(1 for r in group if r["state"] == "done"),
+                "rejected_429": sum(1 for r in group if r["status"] == 429),
+                "latency_p50_s": percentile(
+                    [r["latency_s"] for r in group if r["latency_s"] is not None], 50
+                ),
+                "latency_p95_s": percentile(
+                    [r["latency_s"] for r in group if r["latency_s"] is not None], 95
+                ),
+                "submit_p95_s": percentile(
+                    [r["submit_s"] for r in group if r["submit_s"] is not None], 95
+                ),
+                "result_megabytes": sum(r["result_bytes"] for r in group) / 1e6,
+            }
+            for client, group in sorted(per_client.items())
+        }
+        completed = sum(1 for r in records if r["state"] == "done")
+        section["wall_s"] = wall
+        section["requests"] = len(records)
+        section["completed"] = completed
+        section["throughput_jobs_per_s"] = completed / wall if wall > 0 else 0.0
+        section["server"] = stats["server"]
+        section["edge"] = stats["edge"]
+    finally:
+        edge.shutdown()
+        server.close()
+    return section
 
 
 def group_results(results: List[ServeResult]) -> Dict[str, dict]:
@@ -351,6 +462,18 @@ def run(args: argparse.Namespace) -> int:
               f"{pool_part['rays_per_wall_s']:,.0f} rays/s  "
               f"speedup {speedup:.2f}x")
 
+    # HTTP edge: multi-client open loop over real sockets.
+    http_section = None
+    if args.http:
+        http_section = run_http_section(store, config, workers=args.workers)
+        report["http"] = http_section
+        print(f"http [{config['http_clients']} clients @ {config['rate_hz']:.1f} Hz each]: "
+              f"{http_section['completed']}/{http_section['requests']} jobs in "
+              f"{http_section['wall_s']:.2f}s  "
+              f"{http_section['throughput_jobs_per_s']:.2f} jobs/s  "
+              f"request p95 {http_section['edge']['request_latency_p95_s'] * 1e3:.1f}ms  "
+              f"bit-identical {http_section['bit_identical_over_http']}")
+
     store_stats = store.stats()
     report["store"] = {
         "hits": store_stats.hits,
@@ -378,6 +501,16 @@ def run(args: argparse.Namespace) -> int:
         failures.append(
             f"closed loop covered {covered}/{expected_pairs} scene x pipeline pairs"
         )
+    if http_section is not None:
+        if not http_section["bit_identical_over_http"]:
+            failures.append(
+                "HTTP-fetched frame is not bit-identical to the direct engine render"
+            )
+        if http_section["completed"] < http_section["requests"]:
+            failures.append(
+                f"HTTP open loop completed {http_section['completed']}"
+                f"/{http_section['requests']} requests"
+            )
     if args.min_store_hit_rate is not None and store_stats.hit_rate < args.min_store_hit_rate:
         failures.append(
             f"store hit rate {store_stats.hit_rate:.2f} below required "

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""HTTP serving demo: three concurrent clients over the asyncio/SSE edge.
+
+Shows the :mod:`repro.serve.http` subsystem end to end:
+
+1. build a :class:`~repro.serve.SceneStore` and a
+   :class:`~repro.serve.RenderServer`, wrap them in an
+   :class:`~repro.serve.http.HttpRenderFrontEnd` and run it on a
+   background driver thread,
+2. run three clients concurrently, each with its own API key (the
+   fairness identity): two stream their job's tiles live over
+   Server-Sent Events (one of them carries a 3x round-robin weight),
+   the third uses the blocking ``render`` convenience verb,
+3. verify every frame fetched over the wire is bit-identical to the
+   direct ``RenderEngine`` render, then print the merged server+edge
+   telemetry snapshot.
+
+Takes well under a minute on a laptop at the default sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+import numpy as np
+
+from repro.api import PipelineConfig, SpNeRFConfig
+from repro.serve import RenderServer, SceneStore
+from repro.serve.http import HttpRenderFrontEnd, RenderClient
+
+
+async def stream_job(host: str, port: int, name: str, job: dict) -> str:
+    """Submit-and-stream one job, printing tile progress; return the job id."""
+    client = RenderClient(host, port, api_key=name)
+    job_id = "?"
+    async for event, payload in client.stream(submit=job):
+        if event == "accepted":
+            job_id = payload["job_id"]
+            print(f"  [{name}] {job_id} accepted: {job['scene']}/{job['pipeline']}")
+        elif event == "tile":
+            print(f"  [{name}] {job_id} tile {payload['tiles_done']}"
+                  f"/{payload['tiles_total']} "
+                  f"(pixels {payload['start']}..{payload['stop']})")
+        else:
+            print(f"  [{name}] {job_id} -> {event}")
+    await client.close()
+    return job_id
+
+
+async def fetch_job(host: str, port: int, name: str, job: dict) -> np.ndarray:
+    """The plain request/response path: submit, wait, fetch the frame."""
+    async with RenderClient(host, port, api_key=name) as client:
+        frame, meta = await client.render(**job)
+        print(f"  [{name}] {meta['job_id']} done in {meta['latency_s']*1e3:.0f} ms, "
+              f"frame {frame.shape} {frame.dtype}")
+        return frame
+
+
+async def drive(host: str, port: int, tile_size: int) -> np.ndarray:
+    results = await asyncio.gather(
+        stream_job(host, port, "alice",
+                   {"scene": "lego", "pipeline": "spnerf", "tile_size": tile_size}),
+        stream_job(host, port, "vip",
+                   {"scene": "ficus", "pipeline": "spnerf", "tile_size": tile_size,
+                    "priority": "high"}),
+        fetch_job(host, port, "carol",
+                  {"scene": "lego", "pipeline": "dense", "tile_size": tile_size}),
+    )
+    return results[2]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--resolution", type=int, default=48, help="voxel grid resolution")
+    parser.add_argument("--image-size", type=int, default=56, help="rendered image side (pixels)")
+    parser.add_argument("--tile-size", type=int, default=784, help="pixels per tile job")
+    args = parser.parse_args()
+
+    store = SceneStore(
+        memory_budget_bytes=64_000_000,
+        config=PipelineConfig(
+            spnerf=SpNeRFConfig(num_subgrids=16, hash_table_size=4096), kmeans_iterations=3
+        ),
+        scene_kwargs={
+            "resolution": args.resolution, "image_size": args.image_size,
+            "num_views": 1, "num_samples": 64,
+        },
+    )
+    front = HttpRenderFrontEnd(
+        RenderServer(store, max_pending=16),
+        rate_limit_hz=20.0,
+        client_weights={"vip": 3.0},   # 3x the round-robin share
+    )
+    front.run_in_thread()
+    host, port = front.address
+    print(f"HTTP front end listening on {host}:{port}")
+
+    try:
+        print("Three clients, concurrently (two SSE streams, one blocking fetch):")
+        carol_frame = asyncio.run(drive(host, port, args.tile_size))
+
+        direct = store.get("lego", "dense").engine.render(
+            camera_indices=(0,), chunk_size=args.tile_size
+        )
+        identical = np.array_equal(carol_frame, direct.images[0])
+        print(f"HTTP frame bit-identical to direct render: {identical}")
+
+        stats = asyncio.run(RenderClient(host, port).stats())
+        server, edge = stats["server"], stats["edge"]
+        print("Telemetry:")
+        print(f"  server: {server['completed']} jobs, "
+              f"{server['tiles_rendered']} tiles, p95 {server['latency_p95_s']*1e3:.0f} ms")
+        print(f"  edge:   {edge['requests_total']} requests, "
+              f"{edge['sse_events_sent']} SSE events, "
+              f"{edge['rate_limited_429']} rate-limited")
+    finally:
+        front.shutdown()
+    print("Front end drained and stopped.")
+
+
+if __name__ == "__main__":
+    main()

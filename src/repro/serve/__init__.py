@@ -37,6 +37,11 @@ Six layers, one module each:
 * :mod:`~repro.serve.traffic` — synthetic open-loop (Poisson) and
   closed-loop workloads plus replay harnesses; ``benchmarks/perf_serve.py``
   builds on them and writes ``BENCH_serve.json``.
+
+The network edge lives in the :mod:`repro.serve.http` subpackage:
+:class:`~repro.serve.http.HttpRenderFrontEnd` serves a :class:`RenderServer`
+over HTTP/SSE with per-client rate limiting and weighted deficit-round-robin
+fairness, and :class:`~repro.serve.http.RenderClient` consumes it.
 """
 
 from repro.serve.backends import (
@@ -57,6 +62,7 @@ from repro.serve.server import (
     RenderServer,
     ServeResult,
     TileUpdate,
+    UnknownJobError,
 )
 from repro.serve.store import SceneBundleRecord, SceneStore, SceneStoreSpec, SceneStoreStats
 from repro.serve.telemetry import ServerStats, Telemetry, percentile
@@ -64,6 +70,8 @@ from repro.serve.tiles import Tile, assemble_tiles, plan_tiles
 from repro.serve.traffic import (
     TrafficItem,
     closed_loop_workload,
+    http_open_loop,
+    orbit_workload,
     poisson_workload,
     replay_closed_loop,
     replay_open_loop,
@@ -95,6 +103,7 @@ __all__ = [
     "JobView",
     "TileUpdate",
     "ServeResult",
+    "UnknownJobError",
     "OVER_COST_POLICIES",
     # telemetry
     "ServerStats",
@@ -104,6 +113,8 @@ __all__ = [
     "TrafficItem",
     "poisson_workload",
     "closed_loop_workload",
+    "orbit_workload",
     "replay_open_loop",
     "replay_closed_loop",
+    "http_open_loop",
 ]

@@ -1,0 +1,37 @@
+"""HTTP/SSE serving edge for the render server (stdlib asyncio only).
+
+Layers, one module each:
+
+* :mod:`~repro.serve.http.wire` — HTTP/1.1 request parsing, response framing
+  and server-sent-event encoding over asyncio streams.
+* :mod:`~repro.serve.http.fairness` — per-client :class:`TokenBucket` rate
+  limiting and weighted :class:`DeficitRoundRobin` admission queues.
+* :mod:`~repro.serve.http.telemetry` — :class:`HttpEdgeStats`, the edge's
+  half of ``GET /v1/stats``.
+* :mod:`~repro.serve.http.frontend` — :class:`HttpRenderFrontEnd`, the
+  asyncio server pumping one :class:`~repro.serve.server.RenderServer` from a
+  driver thread.
+* :mod:`~repro.serve.http.client` — :class:`RenderClient`, the asyncio
+  client the tests, benchmarks and examples drive the edge with.
+"""
+
+from repro.serve.http.client import ClientProtocolError, HttpResponse, RenderClient
+from repro.serve.http.fairness import DeficitRoundRobin, RateLimiter, TokenBucket
+from repro.serve.http.frontend import HttpError, HttpRenderFrontEnd
+from repro.serve.http.telemetry import HttpEdgeStats, HttpEdgeTelemetry
+from repro.serve.http.wire import HttpRequest, ProtocolError
+
+__all__ = [
+    "HttpRenderFrontEnd",
+    "HttpError",
+    "RenderClient",
+    "HttpResponse",
+    "ClientProtocolError",
+    "TokenBucket",
+    "RateLimiter",
+    "DeficitRoundRobin",
+    "HttpEdgeStats",
+    "HttpEdgeTelemetry",
+    "HttpRequest",
+    "ProtocolError",
+]

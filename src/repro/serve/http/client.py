@@ -1,0 +1,268 @@
+"""A small asyncio client for the HTTP serving edge (stdlib only).
+
+This is the consumer half of the wire contract in
+:mod:`repro.serve.http.wire`: keep-alive JSON requests over one persistent
+connection, raw-frame decoding from the ``X-Frame-*`` headers, and an SSE
+reader yielding ``(event, payload)`` pairs.  The open-loop benchmark
+(:func:`repro.serve.traffic.http_open_loop`), the failure-path tests and the
+example script all drive the edge through this class, so the repository
+exercises its own public protocol rather than a private back door.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["HttpResponse", "RenderClient", "ClientProtocolError"]
+
+
+class ClientProtocolError(RuntimeError):
+    """The server's bytes did not parse as the expected HTTP/SSE framing."""
+
+
+@dataclass
+class HttpResponse:
+    """One complete HTTP response (headers lower-cased, body undecoded)."""
+
+    status: int
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict:
+        return json.loads(self.body.decode("utf-8"))
+
+    def frame(self) -> np.ndarray:
+        """Decode a ``/result`` body via its ``X-Frame-Shape``/``Dtype`` headers."""
+        shape = tuple(int(dim) for dim in self.headers["x-frame-shape"].split(","))
+        dtype = np.dtype(self.headers["x-frame-dtype"])
+        return np.frombuffer(self.body, dtype=dtype).reshape(shape)
+
+    def meta(self) -> dict:
+        """The ``X-Serve-Meta`` accounting attached to a ``/result`` response."""
+        return json.loads(self.headers["x-serve-meta"])
+
+
+async def _read_headers(reader: asyncio.StreamReader) -> Tuple[int, Dict[str, str]]:
+    status_line = await reader.readuntil(b"\r\n")
+    parts = status_line.decode("latin-1").split(None, 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise ClientProtocolError(f"malformed status line: {status_line!r}")
+    status = int(parts[1])
+    headers: Dict[str, str] = {}
+    while True:
+        raw = await reader.readuntil(b"\r\n")
+        if raw in (b"\r\n", b"\n"):
+            break
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    return status, headers
+
+
+async def _read_response(reader: asyncio.StreamReader) -> HttpResponse:
+    status, headers = await _read_headers(reader)
+    length = int(headers.get("content-length", "0"))
+    body = await reader.readexactly(length) if length else b""
+    return HttpResponse(status=status, headers=headers, body=body)
+
+
+class RenderClient:
+    """Talk to one :class:`~repro.serve.http.frontend.HttpRenderFrontEnd`.
+
+    JSON requests reuse a single keep-alive connection (reopened transparently
+    if the server closed it); each SSE stream gets a dedicated connection
+    because the stream is delimited by connection close.  ``api_key`` sets the
+    fairness/rate-limit identity via the ``X-API-Key`` header.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        api_key: Optional[str] = None,
+        timeout_s: float = 120.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.api_key = api_key
+        self.timeout_s = timeout_s
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    # ------------------------------------------------------------------
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "RenderClient":
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+    def _request_bytes(self, method: str, path: str, payload: Optional[dict]) -> bytes:
+        body = (
+            json.dumps(payload, separators=(",", ":")).encode("utf-8")
+            if payload is not None
+            else b""
+        )
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            f"Content-Length: {len(body)}",
+            "Content-Type: application/json",
+        ]
+        if self.api_key:
+            lines.append(f"X-API-Key: {self.api_key}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+    async def request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> HttpResponse:
+        """One JSON request/response over the shared keep-alive connection."""
+        for attempt in (0, 1):
+            if self._writer is None:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+            try:
+                self._writer.write(self._request_bytes(method, path, payload))
+                await self._writer.drain()
+                return await asyncio.wait_for(
+                    _read_response(self._reader), timeout=self.timeout_s
+                )
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.IncompleteReadError,
+            ):
+                await self.close()
+                if attempt:  # the retry also failed: a real connectivity problem
+                    raise
+        raise AssertionError("unreachable")
+
+    # ------------------------------------------------------------------
+    # Convenience verbs
+    # ------------------------------------------------------------------
+    async def submit(self, **job) -> HttpResponse:
+        """``POST /v1/jobs`` (kwargs are the JSON body: scene, pipeline, ...)."""
+        return await self.request("POST", "/v1/jobs", payload=job)
+
+    async def poll(self, job_id: str) -> HttpResponse:
+        return await self.request("GET", f"/v1/jobs/{job_id}")
+
+    async def cancel(self, job_id: str) -> HttpResponse:
+        return await self.request("DELETE", f"/v1/jobs/{job_id}")
+
+    async def result(self, job_id: str) -> HttpResponse:
+        return await self.request("GET", f"/v1/jobs/{job_id}/result")
+
+    async def stats(self) -> dict:
+        response = await self.request("GET", "/v1/stats")
+        if response.status != 200:
+            raise ClientProtocolError(f"/v1/stats answered {response.status}")
+        return response.json()
+
+    async def wait(
+        self, job_id: str, poll_interval_s: float = 0.02, timeout_s: Optional[float] = None
+    ) -> dict:
+        """Poll until the job leaves ``queued``/``running``; returns the view."""
+        deadline = (
+            asyncio.get_running_loop().time() + timeout_s if timeout_s is not None else None
+        )
+        while True:
+            view = (await self.poll(job_id)).json()
+            if view["state"] not in ("queued", "running"):
+                return view
+            if deadline is not None and asyncio.get_running_loop().time() > deadline:
+                raise TimeoutError(f"job {job_id} still {view['state']} after {timeout_s}s")
+            await asyncio.sleep(poll_interval_s)
+
+    async def render(self, **job) -> Tuple[np.ndarray, dict]:
+        """Submit, wait, fetch: the blocking-call convenience wrapper."""
+        submitted = await self.submit(**job)
+        if submitted.status != 202:
+            raise ClientProtocolError(
+                f"submit answered {submitted.status}: {submitted.body.decode()}"
+            )
+        job_id = submitted.json()["job_id"]
+        view = await self.wait(job_id)
+        if view["state"] != "done":
+            raise ClientProtocolError(f"job {job_id} ended {view['state']}: {view['error']}")
+        response = await self.result(job_id)
+        if response.status != 200:
+            raise ClientProtocolError(f"result answered {response.status}")
+        return response.frame(), response.meta()
+
+    # ------------------------------------------------------------------
+    # Server-sent events
+    # ------------------------------------------------------------------
+    async def stream(
+        self,
+        job_id: Optional[str] = None,
+        submit: Optional[dict] = None,
+        include_data: bool = False,
+    ) -> AsyncIterator[Tuple[str, dict]]:
+        """Yield ``(event, payload)`` SSE pairs until the terminal event.
+
+        Pass ``job_id`` to attach to an existing job's stream, or ``submit``
+        (a POST body) to submit-and-stream atomically — the latter guarantees
+        the stream observes every partial tile of its own job.  The dedicated
+        connection closes when the generator finishes or is closed early
+        (which the server treats as a disconnect and may cancel the job).
+        """
+        if (job_id is None) == (submit is None):
+            raise ValueError("pass exactly one of job_id or submit")
+        suffix = "data=1" if include_data else ""
+        if job_id is not None:
+            method, path, payload = "GET", f"/v1/jobs/{job_id}/stream", None
+            if suffix:
+                path += f"?{suffix}"
+        else:
+            method, path, payload = "POST", "/v1/jobs?stream=sse", submit
+            if suffix:
+                path += f"&{suffix}"
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(self._request_bytes(method, path, payload))
+            await writer.drain()
+            status, headers = await _read_headers(reader)
+            if status != 200:
+                length = int(headers.get("content-length", "0"))
+                body = await reader.readexactly(length) if length else b""
+                raise ClientProtocolError(
+                    f"stream request answered {status}: {body.decode('utf-8', 'replace')}"
+                )
+            event: Optional[str] = None
+            data_lines = []
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=self.timeout_s)
+                if not line:
+                    return  # EOF: server closed the stream
+                line = line.rstrip(b"\r\n")
+                if not line:
+                    if data_lines:
+                        payload_obj = json.loads(b"\n".join(data_lines).decode("utf-8"))
+                        yield event or "message", payload_obj
+                    event, data_lines = None, []
+                elif line.startswith(b"event:"):
+                    event = line[len(b"event:"):].strip().decode("utf-8")
+                elif line.startswith(b"data:"):
+                    data_lines.append(line[len(b"data:"):].strip())
+                # lines starting with ":" are keepalive comments: ignored
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass

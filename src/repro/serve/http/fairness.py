@@ -1,0 +1,213 @@
+"""Per-client fairness primitives for the HTTP edge.
+
+The :class:`~repro.serve.server.RenderServer` already arbitrates between
+*jobs* (priority classes, per-tile round-robin, cost-aware admission), but it
+knows nothing about *clients*: one greedy client submitting 50 frames gets 50
+shares of the per-tile round-robin while a polite client gets one.  The edge
+restores per-client fairness with two classic mechanisms applied **before**
+the server ever sees a job:
+
+* :class:`TokenBucket` — per-client request-rate limiting.  A client may
+  burst up to the bucket capacity, then sustain ``rate_hz``; anything faster
+  is answered ``429`` with a ``Retry-After`` telling it when the next token
+  lands.  Buckets are lazy: tokens accrue from timestamps, no timers.
+* :class:`DeficitRoundRobin` — weighted deficit-round-robin release of queued
+  submissions.  Each client owns a FIFO; every scheduling round a client's
+  deficit grows by ``quantum x weight`` and it may release queued jobs whose
+  summed cost fits its deficit.  Expensive frames therefore consume a
+  client's turn proportionally to their cost (the server's admission
+  estimate), and a backlog from one client can never starve another: the
+  other client's head-of-queue job is released after at most one round.
+
+Both are plain synchronous data structures driven by the front end's single
+scheduler thread — no locks, no event-loop coupling — and injectable clocks
+keep the tests deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+__all__ = ["TokenBucket", "RateLimiter", "DeficitRoundRobin"]
+
+
+class TokenBucket:
+    """One client's token bucket: ``capacity`` burst, ``rate_hz`` sustained."""
+
+    __slots__ = ("rate_hz", "capacity", "tokens", "updated_at")
+
+    def __init__(self, rate_hz: float, capacity: float, now: float) -> None:
+        if rate_hz <= 0:
+            raise ValueError(f"rate_hz must be positive, got {rate_hz}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be at least 1, got {capacity}")
+        self.rate_hz = rate_hz
+        self.capacity = capacity
+        self.tokens = capacity
+        self.updated_at = now
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self.updated_at)
+        self.tokens = min(self.capacity, self.tokens + elapsed * self.rate_hz)
+        self.updated_at = now
+
+    def try_acquire(self, now: float, cost: float = 1.0) -> bool:
+        """Spend ``cost`` tokens if available; ``False`` means rate-limited."""
+        self._refill(now)
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True
+        return False
+
+    def retry_after_s(self, now: float, cost: float = 1.0) -> float:
+        """Seconds until ``cost`` tokens will have accrued (the 429 hint)."""
+        self._refill(now)
+        deficit = max(0.0, cost - self.tokens)
+        return deficit / self.rate_hz
+
+
+class RateLimiter:
+    """Token buckets keyed by client id, with bounded client tracking.
+
+    ``None`` rate disables limiting (every check admits).  State for the
+    least-recently-seen clients is dropped beyond ``max_clients`` — a fresh
+    bucket starts full, so forgetting an idle client errs toward admitting.
+    """
+
+    def __init__(
+        self,
+        rate_hz: Optional[float],
+        burst: float = 4.0,
+        max_clients: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate_hz is not None and rate_hz <= 0:
+            raise ValueError(f"rate_hz must be positive, got {rate_hz}")
+        self.rate_hz = rate_hz
+        self.burst = burst
+        self.max_clients = max_clients
+        self._clock = clock
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+
+    def check(self, client: str) -> Tuple[bool, float]:
+        """``(admitted, retry_after_s)`` for one request from ``client``."""
+        if self.rate_hz is None:
+            return True, 0.0
+        now = self._clock()
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(self.rate_hz, self.burst, now)
+            self._buckets[client] = bucket
+            while len(self._buckets) > self.max_clients:
+                self._buckets.popitem(last=False)
+        self._buckets.move_to_end(client)
+        if bucket.try_acquire(now):
+            return True, 0.0
+        return False, bucket.retry_after_s(now)
+
+
+class DeficitRoundRobin:
+    """Weighted deficit-round-robin over per-client FIFO queues.
+
+    ``push`` enqueues ``(item, cost)`` under a client; :meth:`release` walks
+    the active clients in round-robin order, growing each visited client's
+    deficit by ``quantum x weight`` and releasing queued items while the
+    deficit covers their cost **and** the caller's ``gate`` admits the client
+    (the front end gates on per-client in-flight caps and server admission
+    headroom).  A gated-off or empty client keeps its place in the round;
+    deficits are capped at one head-of-queue cost plus one turn so a long-
+    blocked client cannot bank an unbounded burst, and a drained client's
+    deficit resets — the textbook DRR conditions for O(1) fairness.
+    """
+
+    def __init__(
+        self,
+        quantum: float = 1.0,
+        weights: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if quantum <= 0:
+            raise ValueError(f"quantum must be positive, got {quantum}")
+        self.quantum = quantum
+        self._weights = dict(weights or {})
+        self._queues: Dict[str, Deque[Tuple[object, float]]] = {}
+        self._deficit: Dict[str, float] = {}
+        self._round: Deque[str] = deque()
+
+    # ------------------------------------------------------------------
+    def weight(self, client: str) -> float:
+        return self._weights.get(client, 1.0)
+
+    def set_weight(self, client: str, weight: float) -> None:
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        self._weights[client] = weight
+
+    def push(self, client: str, item: object, cost: float = 1.0) -> None:
+        """Enqueue one submission under ``client`` (cost in admission units)."""
+        queue = self._queues.get(client)
+        if queue is None:
+            queue = deque()
+            self._queues[client] = queue
+            self._deficit.setdefault(client, 0.0)
+            self._round.append(client)
+        queue.append((item, max(0.0, cost)))
+
+    def queued(self, client: Optional[str] = None) -> int:
+        """Queued submissions of one client (or of every client)."""
+        if client is not None:
+            queue = self._queues.get(client)
+            return len(queue) if queue is not None else 0
+        return sum(len(queue) for queue in self._queues.values())
+
+    def depths(self) -> Dict[str, int]:
+        """Instantaneous per-client queue depths (only non-empty clients)."""
+        return {client: len(queue) for client, queue in self._queues.items() if queue}
+
+    # ------------------------------------------------------------------
+    def release(
+        self,
+        gate: Callable[[str], bool],
+        max_items: Optional[int] = None,
+    ) -> List[Tuple[str, object]]:
+        """One DRR round: the ``(client, item)`` submissions released now.
+
+        Visits each active client once, in round order.  ``gate(client)``
+        is consulted before every single release, so a cap reached mid-turn
+        stops that client immediately while the rest of the round proceeds.
+        """
+        released: List[Tuple[str, object]] = []
+        for _ in range(len(self._round)):
+            if not self._round or (max_items is not None and len(released) >= max_items):
+                break
+            client = self._round[0]
+            self._round.rotate(-1)
+            queue = self._queues.get(client)
+            if not queue:
+                self._drop_if_idle(client)
+                continue
+            deficit = self._deficit[client] + self.quantum * self.weight(client)
+            # Cap: at most the head's cost plus one fresh turn may be banked.
+            deficit = min(deficit, queue[0][1] + self.quantum * self.weight(client))
+            while queue and queue[0][1] <= deficit and gate(client):
+                if max_items is not None and len(released) >= max_items:
+                    break
+                item, cost = queue.popleft()
+                deficit -= cost
+                released.append((client, item))
+            self._deficit[client] = 0.0 if not queue else deficit
+            self._drop_if_idle(client)
+        return released
+
+    def _drop_if_idle(self, client: str) -> None:
+        """Forget a drained client's scheduling state (weights persist)."""
+        queue = self._queues.get(client)
+        if queue is not None and not queue:
+            del self._queues[client]
+            self._deficit.pop(client, None)
+            try:
+                self._round.remove(client)
+            except ValueError:
+                pass

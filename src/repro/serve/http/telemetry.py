@@ -1,0 +1,120 @@
+"""Edge observability: what the HTTP layer adds on top of ``ServerStats``.
+
+The render server's :class:`~repro.serve.telemetry.ServerStats` describes
+jobs and tiles; the edge describes *connections and clients* — how many
+sockets and SSE streams are open, who is being rate-limited, how deep each
+client's fairness queue is, and how long HTTP request handling itself takes
+(parse → route → response written, SSE excluded since a stream's duration is
+the job's, not the handler's).  ``GET /v1/stats`` returns both, merged::
+
+    {"server": ServerStats.as_dict(), "edge": HttpEdgeStats.as_dict()}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.serve.telemetry import percentile
+
+__all__ = ["HttpEdgeStats", "HttpEdgeTelemetry"]
+
+
+@dataclass
+class HttpEdgeStats:
+    """One flat snapshot of the HTTP edge (counters are lifetime totals)."""
+
+    connections_total: int = 0
+    active_connections: int = 0
+    requests_total: int = 0
+    responses_by_status: Dict[str, int] = field(default_factory=dict)
+    bad_requests_400: int = 0
+    not_found_404: int = 0
+    rate_limited_429: int = 0
+    queue_full_429: int = 0
+    admission_429: int = 0
+    jobs_submitted: int = 0
+    jobs_cancelled_by_disconnect: int = 0
+    sse_streams_total: int = 0
+    active_sse_streams: int = 0
+    sse_events_sent: int = 0
+    request_latency_p50_s: float = float("nan")
+    request_latency_p95_s: float = float("nan")
+    per_client_queue_depth: Dict[str, int] = field(default_factory=dict)
+    per_client_in_flight: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready flat mapping (what ``/v1/stats`` and benchmarks emit)."""
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+
+@dataclass
+class HttpEdgeTelemetry:
+    """Accumulates edge observations; :meth:`snapshot` flattens them.
+
+    Mutated from two places with an explicit division of labour: connection
+    and request counters from the event loop's handlers, queue/in-flight
+    gauges read from the scheduler thread's fairness structures at snapshot
+    time.  Every mutation is a single int/list op under the GIL, so no lock
+    is needed for counters that are only ever incremented.
+    """
+
+    connections_total: int = 0
+    active_connections: int = 0
+    requests_total: int = 0
+    responses_by_status: Dict[int, int] = field(default_factory=dict)
+    bad_requests_400: int = 0
+    not_found_404: int = 0
+    rate_limited_429: int = 0
+    queue_full_429: int = 0
+    admission_429: int = 0
+    jobs_submitted: int = 0
+    jobs_cancelled_by_disconnect: int = 0
+    sse_streams_total: int = 0
+    active_sse_streams: int = 0
+    sse_events_sent: int = 0
+    request_latencies_s: List[float] = field(default_factory=list)
+    #: Retention bound on the latency reservoir (drop-oldest beyond it).
+    max_latency_samples: int = 100_000
+
+    # ------------------------------------------------------------------
+    def record_response(self, status: int, latency_s: float) -> None:
+        """One completed (non-streaming) request/response exchange."""
+        self.requests_total += 1
+        self.responses_by_status[status] = self.responses_by_status.get(status, 0) + 1
+        if status == 400:
+            self.bad_requests_400 += 1
+        elif status == 404:
+            self.not_found_404 += 1
+        self.request_latencies_s.append(latency_s)
+        if len(self.request_latencies_s) > self.max_latency_samples:
+            del self.request_latencies_s[: -self.max_latency_samples]
+
+    def snapshot(
+        self,
+        per_client_queue_depth: Dict[str, int],
+        per_client_in_flight: Dict[str, int],
+    ) -> HttpEdgeStats:
+        return HttpEdgeStats(
+            connections_total=self.connections_total,
+            active_connections=self.active_connections,
+            requests_total=self.requests_total,
+            responses_by_status={
+                str(status): count
+                for status, count in sorted(self.responses_by_status.items())
+            },
+            bad_requests_400=self.bad_requests_400,
+            not_found_404=self.not_found_404,
+            rate_limited_429=self.rate_limited_429,
+            queue_full_429=self.queue_full_429,
+            admission_429=self.admission_429,
+            jobs_submitted=self.jobs_submitted,
+            jobs_cancelled_by_disconnect=self.jobs_cancelled_by_disconnect,
+            sse_streams_total=self.sse_streams_total,
+            active_sse_streams=self.active_sse_streams,
+            sse_events_sent=self.sse_events_sent,
+            request_latency_p50_s=percentile(self.request_latencies_s, 50),
+            request_latency_p95_s=percentile(self.request_latencies_s, 95),
+            per_client_queue_depth=dict(per_client_queue_depth),
+            per_client_in_flight=dict(per_client_in_flight),
+        )

@@ -1,0 +1,197 @@
+"""Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
+
+The serving edge needs exactly four wire-level abilities: parse a request
+(line, headers, ``Content-Length`` body), emit a framed response, emit the
+header of a server-sent-event stream, and emit SSE frames.  The full breadth
+of HTTP (chunked uploads, trailers, continuation lines, pipelined bodies) is
+deliberately out of scope — a malformed or unsupported request surfaces as
+:class:`ProtocolError`, which the front end maps to ``400``.
+
+Connections are persistent by default (HTTP/1.1 keep-alive): every non-SSE
+response carries a ``Content-Length`` so clients can reuse the socket for the
+submit→poll→result sequence.  SSE responses have no length and terminate the
+connection when the stream does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = [
+    "ProtocolError",
+    "HttpRequest",
+    "read_request",
+    "response_bytes",
+    "json_body",
+    "sse_header_bytes",
+    "sse_event_bytes",
+    "STATUS_PHRASES",
+]
+
+#: Request-size guards: a render submission is a small JSON document; anything
+#: bigger than these is a broken or hostile client, not a legitimate request.
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_LINES = 64
+MAX_BODY_BYTES = 1_000_000
+
+STATUS_PHRASES = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(ValueError):
+    """A request the edge cannot (or will not) parse; answered with 400."""
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split path, headers and raw body."""
+
+    method: str
+    target: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes = b""
+    #: ``path`` split on "/" with empty segments dropped: the routing key.
+    segments: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def client_id(self, peer: str) -> str:
+        """The fairness/rate-limit identity of this request.
+
+        An explicit API key (``X-API-Key`` header or ``api_key`` query
+        parameter) wins; anonymous requests fall back to the remote address,
+        so distinct hosts are distinct clients by default.
+        """
+        return self.headers.get("x-api-key") or self.query.get("api_key") or peer
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
+    """Parse one request off the stream; ``None`` on clean EOF between requests.
+
+    Raises :class:`ProtocolError` for anything malformed (bad request line,
+    oversized headers or body, non-integer ``Content-Length``) and lets
+    ``asyncio`` connection errors propagate — the caller owns the socket.
+    """
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF: the client closed between requests
+        raise ProtocolError("truncated request line") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError("request line too long") from None
+    if len(line) > MAX_REQUEST_LINE:
+        raise ProtocolError("request line too long")
+    parts = line.decode("latin-1").rstrip("\r\n").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed request line: {line!r}")
+    method, target, _version = parts
+
+    headers: Dict[str, str] = {}
+    for _ in range(MAX_HEADER_LINES + 1):
+        try:
+            raw = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise ProtocolError("truncated headers") from None
+        if raw in (b"\r\n", b"\n"):
+            break
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line: {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise ProtocolError("too many header lines")
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise ProtocolError("non-integer Content-Length") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise ProtocolError(f"unacceptable Content-Length {length}")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise ProtocolError("truncated body") from None
+    elif headers.get("transfer-encoding"):
+        raise ProtocolError("chunked request bodies are not supported")
+
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    path = split.path or "/"
+    return HttpRequest(
+        method=method.upper(),
+        target=target,
+        path=path,
+        query=query,
+        headers=headers,
+        body=body,
+        segments=tuple(segment for segment in path.split("/") if segment),
+    )
+
+
+def response_bytes(
+    status: int,
+    body: bytes = b"",
+    content_type: str = "application/json",
+    extra_headers: Optional[Iterable[Tuple[str, str]]] = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Frame one complete response (always ``Content-Length``-delimited)."""
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {phrase}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in extra_headers or ():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def json_body(payload: object) -> bytes:
+    """Compact JSON encoding used by every structured response."""
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def sse_header_bytes() -> bytes:
+    """The response header opening a server-sent-event stream.
+
+    No ``Content-Length``: the stream is delimited by connection close, which
+    is the one framing every SSE client understands.
+    """
+    return (
+        b"HTTP/1.1 200 OK\r\n"
+        b"Content-Type: text/event-stream\r\n"
+        b"Cache-Control: no-store\r\n"
+        b"Connection: close\r\n"
+        b"\r\n"
+    )
+
+
+def sse_event_bytes(event: str, payload: object) -> bytes:
+    """One ``event:``/``data:`` SSE frame carrying a JSON payload."""
+    data = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    return f"event: {event}\ndata: {data}\n\n".encode("utf-8")

@@ -58,8 +58,18 @@ __all__ = [
     "TileUpdate",
     "ServeResult",
     "RenderServer",
+    "UnknownJobError",
     "OVER_COST_POLICIES",
 ]
+
+
+class UnknownJobError(KeyError):
+    """A job id the server does not know (never submitted, or retired).
+
+    Subclasses :class:`KeyError` for backward compatibility with callers that
+    caught the bare ``KeyError`` earlier revisions raised; network front ends
+    catch this precisely and map it to HTTP 404.
+    """
 
 
 class Priority(IntEnum):
@@ -82,6 +92,7 @@ class JobState(str, Enum):
     REJECTED = "rejected"
     EXPIRED = "expired"
     FAILED = "failed"
+    CANCELLED = "cancelled"
 
 
 #: States in which a job still wants worker time.
@@ -395,17 +406,27 @@ class RenderServer:
         """The current externally visible state of one job.
 
         With ``include_tiles=True`` the view also carries every completed
-        tile of a still-rendering job (:class:`TileUpdate`\\ s in frame
-        order) — the streaming partial-result interface.  Finished jobs
-        stream nothing: their assembled frame lives in :meth:`result`.
+        tile (:class:`TileUpdate`\\ s in frame order) — the streaming
+        partial-result interface.  A still-rendering job exposes the shards
+        applied so far; a ``DONE`` job exposes the full tile set, sliced
+        back out of the assembled frame (tiles are contiguous spans of the
+        flattened frame, so the slices are the exact rendered shards) — a
+        streaming consumer that attached late never misses the final tile.
         """
         job = self._job(job_id)
         completed: Optional[Tuple[TileUpdate, ...]] = None
         if include_tiles:
-            completed = tuple(
-                TileUpdate(tile=job.tiles[index], image=job.tile_images[index])
-                for index in sorted(job.tile_images)
-            )
+            if job.state is JobState.DONE and job.result is not None:
+                flat = job.result.image.reshape(-1, job.result.image.shape[-1])
+                completed = tuple(
+                    TileUpdate(tile=tile, image=flat[tile.start:tile.stop])
+                    for tile in job.tiles
+                )
+            else:
+                completed = tuple(
+                    TileUpdate(tile=job.tiles[index], image=job.tile_images[index])
+                    for index in sorted(job.tile_images)
+                )
         return JobView(
             job_id=job.job_id,
             state=job.state,
@@ -430,6 +451,27 @@ class RenderServer:
             raise RuntimeError(f"job {job_id} is {job.state.value}, not done{detail}")
         assert job.result is not None
         return job.result
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel an active job; returns whether it transitioned to ``CANCELLED``.
+
+        Undispatched tiles are dropped (queue entries purge lazily at the next
+        scheduling point) and results of tiles already in flight are discarded
+        on arrival, counted in ``dropped_tile_results`` — a tile mid-render is
+        never aborted.  Cancelling a job that already reached a terminal state
+        is a no-op returning ``False``, so a streaming front end can cancel on
+        client disconnect without racing completion.  Unknown ids raise
+        :class:`UnknownJobError`.
+        """
+        job = self._job(job_id)
+        if job.state not in _ACTIVE_STATES:
+            return False
+        job.state = JobState.CANCELLED
+        job.finished_at = self._clock()
+        job.tile_images = {}  # partial shards are dead weight now
+        self.telemetry.cancelled += 1
+        self._retire(job)
+        return True
 
     def pending_count(self) -> int:
         """Jobs currently queued or mid-render (the admission count)."""
@@ -490,8 +532,10 @@ class RenderServer:
         try:
             return self._jobs[job_id]
         except KeyError:
-            raise KeyError(f"unknown job id {job_id!r} (never submitted, or retired "
-                           f"past the max_finished_jobs retention bound)") from None
+            raise UnknownJobError(
+                f"unknown job id {job_id!r} (never submitted, or retired "
+                f"past the max_finished_jobs retention bound)"
+            ) from None
 
     def _retire(self, job: _Job) -> None:
         """Record a terminal transition and trim retention of finished jobs."""

@@ -56,6 +56,7 @@ class ServerStats:
     demoted_over_cost: int = 0
     expired: int = 0
     failed: int = 0
+    cancelled: int = 0
     queue_depth: int = 0
     pending_cost: float = 0.0
     tiles_rendered: int = 0
@@ -97,6 +98,7 @@ class Telemetry:
     demoted_over_cost: int = 0
     expired: int = 0
     failed: int = 0
+    cancelled: int = 0
     tiles_rendered: int = 0
     ooo_completions: int = 0
     dropped_tile_results: int = 0
@@ -152,6 +154,7 @@ class Telemetry:
             demoted_over_cost=self.demoted_over_cost,
             expired=self.expired,
             failed=self.failed,
+            cancelled=self.cancelled,
             queue_depth=queue_depth,
             pending_cost=pending_cost,
             tiles_rendered=self.tiles_rendered,

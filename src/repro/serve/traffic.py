@@ -21,6 +21,7 @@ stays single-threaded and deterministic.
 
 from __future__ import annotations
 
+import asyncio
 import itertools
 import time
 from dataclasses import dataclass
@@ -34,12 +35,20 @@ __all__ = [
     "TrafficItem",
     "poisson_workload",
     "closed_loop_workload",
+    "orbit_workload",
     "replay_open_loop",
     "replay_closed_loop",
+    "http_open_loop",
 ]
 
 #: Terminal job states (nothing left to wait for).
-_FINISHED = (JobState.DONE, JobState.REJECTED, JobState.EXPIRED, JobState.FAILED)
+_FINISHED = (
+    JobState.DONE,
+    JobState.REJECTED,
+    JobState.EXPIRED,
+    JobState.FAILED,
+    JobState.CANCELLED,
+)
 
 
 @dataclass(frozen=True)
@@ -52,6 +61,10 @@ class TrafficItem:
     camera_index: int = 0
     priority: Priority = Priority.NORMAL
     deadline_s: Optional[float] = None
+    #: The submitting client's identity — only the HTTP replayer uses it (the
+    #: in-process replayers see one logical client), so the default keeps
+    #: pre-existing traces equal field-for-field.
+    client: str = "anon"
 
 
 def _mix(scenes: Sequence[str], pipelines: Sequence[str]) -> List[tuple]:
@@ -128,6 +141,46 @@ def closed_loop_workload(
     ]
 
 
+def orbit_workload(
+    scene: str,
+    pipeline: str,
+    num_cameras: int,
+    num_frames: int,
+    frame_interval_s: float,
+    client: str = "anon",
+    start_s: float = 0.0,
+    priority: Priority = Priority.NORMAL,
+    deadline_s: Optional[float] = None,
+) -> List[TrafficItem]:
+    """One client orbiting a scene: successive cameras at a fixed frame cadence.
+
+    This is the canonical interactive-viewer trace — a client sweeping the
+    camera ring requests camera ``0, 1, 2, ...`` (wrapping at ``num_cameras``)
+    every ``frame_interval_s``.  It is the default traffic of the HTTP
+    benchmark because it exercises exactly what an edge must do well: many
+    small, latency-sensitive frames of one hot scene from one identity.
+    Deterministic: no randomness at all.
+    """
+    if num_cameras < 1:
+        raise ValueError(f"num_cameras must be at least 1, got {num_cameras}")
+    if num_frames < 1:
+        raise ValueError(f"num_frames must be at least 1, got {num_frames}")
+    if frame_interval_s < 0:
+        raise ValueError(f"frame_interval_s must be non-negative, got {frame_interval_s}")
+    return [
+        TrafficItem(
+            arrival_s=start_s + frame * frame_interval_s,
+            scene=scene,
+            pipeline=pipeline,
+            camera_index=frame % num_cameras,
+            priority=priority,
+            deadline_s=deadline_s,
+            client=client,
+        )
+        for frame in range(num_frames)
+    ]
+
+
 def _submit(server: RenderServer, item: TrafficItem) -> str:
     return server.submit(
         item.scene,
@@ -186,3 +239,89 @@ def replay_closed_loop(
             job_id for job_id in in_flight if server.poll(job_id).state not in _FINISHED
         ]
     return job_ids
+
+
+def http_open_loop(
+    host: str,
+    port: int,
+    items: Sequence[TrafficItem],
+    fetch_results: bool = True,
+    poll_interval_s: float = 0.02,
+    timeout_s: float = 600.0,
+) -> List[dict]:
+    """Replay a timed trace against a running HTTP front end, open loop.
+
+    Each :class:`TrafficItem` becomes one asyncio client task that sleeps
+    until its arrival time, submits over its own connection (identified to
+    the edge by the item's ``client`` as an API key), polls to completion and
+    optionally fetches the raw frame — arrivals never wait for completions,
+    so queueing delay shows up in the measured latencies exactly as it would
+    for independent network clients.  Runs its own event loop (the callers
+    are synchronous benchmarks) and returns one record per request::
+
+        {"client", "job_id", "status", "state", "arrival_s",
+         "submit_s", "latency_s", "result_bytes"}
+
+    ``status`` is the submit response's HTTP status (429s appear here —
+    rate-limited or admission-rejected requests have no latency), ``state``
+    the job's terminal state, ``latency_s`` the client-observed span from
+    submit to terminal poll.
+    """
+
+    async def one_request(item: TrafficItem, start: float) -> dict:
+        from repro.serve.http.client import RenderClient
+
+        loop = asyncio.get_running_loop()
+        delay = start + item.arrival_s - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        record: dict = {
+            "client": item.client,
+            "job_id": None,
+            "status": None,
+            "state": None,
+            "arrival_s": item.arrival_s,
+            "submit_s": None,
+            "latency_s": None,
+            "result_bytes": 0,
+        }
+        async with RenderClient(host, port, api_key=item.client, timeout_s=timeout_s) as rc:
+            submitted_at = loop.time()
+            response = await rc.submit(
+                scene=item.scene,
+                pipeline=item.pipeline,
+                camera_index=item.camera_index,
+                priority=int(item.priority),
+                deadline_s=item.deadline_s,
+            )
+            record["status"] = response.status
+            record["submit_s"] = loop.time() - submitted_at
+            if response.status != 202:
+                try:
+                    record["state"] = response.json().get("state")
+                except ValueError:
+                    pass
+                return record
+            job_id = response.json()["job_id"]
+            record["job_id"] = job_id
+            view = await rc.wait(
+                job_id, poll_interval_s=poll_interval_s, timeout_s=timeout_s
+            )
+            record["state"] = view["state"]
+            record["latency_s"] = loop.time() - submitted_at
+            if fetch_results and view["state"] == "done":
+                result = await rc.result(job_id)
+                if result.status == 200:
+                    record["result_bytes"] = len(result.body)
+        return record
+
+    async def replay() -> List[dict]:
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        tasks = [
+            asyncio.create_task(one_request(item, start))
+            for item in sorted(items, key=lambda item: item.arrival_s)
+        ]
+        return list(await asyncio.gather(*tasks))
+
+    return asyncio.run(replay())

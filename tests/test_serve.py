@@ -28,8 +28,10 @@ from repro.serve import (
     RenderServer,
     SceneStore,
     Tile,
+    UnknownJobError,
     assemble_tiles,
     closed_loop_workload,
+    orbit_workload,
     plan_tiles,
     poisson_workload,
     replay_closed_loop,
@@ -407,3 +409,59 @@ def test_replay_open_loop_completes_everything(warm_store):
     job_ids = replay_open_loop(server, items)
     assert len(job_ids) == len(items) > 0
     assert all(server.poll(job_id).state is JobState.DONE for job_id in job_ids)
+
+
+def test_orbit_workload_wraps_cameras_at_fixed_cadence():
+    items = orbit_workload(
+        "lego", "dense", num_cameras=3, num_frames=7, frame_interval_s=0.5,
+        client="viewer", start_s=1.0,
+    )
+    assert [item.camera_index for item in items] == [0, 1, 2, 0, 1, 2, 0]
+    assert [item.arrival_s for item in items] == [1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0]
+    assert all(item.client == "viewer" for item in items)
+    assert items == orbit_workload(  # no randomness at all
+        "lego", "dense", num_cameras=3, num_frames=7, frame_interval_s=0.5,
+        client="viewer", start_s=1.0,
+    )
+    with pytest.raises(ValueError, match="num_cameras"):
+        orbit_workload("lego", "dense", num_cameras=0, num_frames=1, frame_interval_s=0.1)
+
+
+# ----------------------------------------------------------------------
+# Cancellation
+# ----------------------------------------------------------------------
+
+def test_server_cancel_mid_render_stops_the_job(warm_store):
+    server = RenderServer(warm_store, default_tile_size=97)
+    job = server.submit("lego", "dense")
+    server.step()  # first tile rendered, job mid-flight
+    assert server.poll(job).state is JobState.RUNNING
+    assert server.cancel(job) is True
+    view = server.poll(job)
+    assert view.state is JobState.CANCELLED
+    with pytest.raises(RuntimeError, match="cancelled"):
+        server.result(job)
+    assert server.cancel(job) is False  # already terminal: no double counting
+    assert server.stats().cancelled == 1
+    assert not server.has_pending()  # the remaining tiles were dropped
+
+
+def test_server_cancel_queued_job_before_any_tile(warm_store):
+    server = RenderServer(warm_store)
+    first = server.submit("lego", "dense")
+    second = server.submit("lego", "dense")
+    assert server.cancel(second) is True
+    server.run_until_idle()
+    assert server.poll(first).state is JobState.DONE
+    assert server.poll(second).state is JobState.CANCELLED
+    assert server.stats().completed == 1
+
+
+def test_server_unknown_job_raises_typed_error(warm_store):
+    server = RenderServer(warm_store)
+    with pytest.raises(UnknownJobError):
+        server.poll("job-31337")
+    # Backward compatible: the typed error is still a KeyError.
+    assert issubclass(UnknownJobError, KeyError)
+    with pytest.raises(KeyError):
+        server.cancel("job-31337")

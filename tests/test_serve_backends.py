@@ -319,10 +319,15 @@ def test_streaming_partial_results_expose_completed_tiles(warm_store):
     ).image.reshape(-1, 3)
     for update in view.completed_tiles:
         assert np.array_equal(update.image, flat_direct[update.tile.start:update.tile.stop])
-    # Plain polls stay lightweight; finished jobs stream nothing.
+    # Plain polls stay lightweight.
     assert server.poll(job).completed_tiles is None
     server.run_until_idle()
-    assert server.poll(job, include_tiles=True).completed_tiles == ()
+    # A DONE job exposes its full tile set, sliced back out of the assembled
+    # frame, so late-attaching streaming consumers never miss the final tile.
+    final = server.poll(job, include_tiles=True).completed_tiles
+    assert len(final) == 6
+    for update in final:
+        assert np.array_equal(update.image, flat_direct[update.tile.start:update.tile.stop])
 
 
 def test_late_results_for_expired_jobs_are_dropped(warm_store):
