@@ -29,6 +29,14 @@ aggregate HTTP throughput and the edge's own telemetry — and guarding that a
 frame fetched through ``GET /v1/jobs/{id}/result`` is bit-identical to the
 direct engine render.
 
+With ``--chaos`` the run adds a fault-injection section: the same closed-loop
+workload replayed on a process pool whose :class:`~repro.serve.FaultPlan`
+kills one worker mid-job and poisons one bundle build, with hedging and work
+stealing armed.  The section records how many jobs completed under fault,
+the respawn/redispatch/hedge/steal counters, and guards that every admitted
+job finished bit-identically — only the deliberately poisoned job may fail,
+and it must fail with the typed error.
+
 Usage::
 
     python benchmarks/perf_serve.py --quick          # CI-sized smoke profile
@@ -36,6 +44,7 @@ Usage::
     python benchmarks/perf_serve.py --quick --backend process --workers 4
     python benchmarks/perf_serve.py --quick --min-pool-speedup 1.5
     python benchmarks/perf_serve.py --quick --http   # + HTTP edge section
+    python benchmarks/perf_serve.py --quick --chaos  # + fault-injection section
 """
 
 from __future__ import annotations
@@ -57,6 +66,9 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.api import PipelineConfig, SpNeRFConfig  # noqa: E402  (path bootstrap above)
 from repro.serve import (  # noqa: E402
     BACKEND_NAMES,
+    FaultPlan,
+    JobState,
+    ProcessPoolBackend,
     RenderServer,
     SceneStore,
     ServeResult,
@@ -66,6 +78,7 @@ from repro.serve import (  # noqa: E402
     poisson_workload,
     replay_closed_loop,
     replay_open_loop,
+    summarize_outcomes,
 )
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_serve.json"
@@ -98,6 +111,17 @@ def parse_args(argv=None) -> argparse.Namespace:
     )
     parser.add_argument(
         "--workers", type=int, default=None, help="pool-backend worker count (default: auto)"
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        help="tiles the scheduler may run ahead per pool worker (default: backend's)",
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="add a fault-injection section (worker kill + poisoned build on a process pool)",
     )
     parser.add_argument(
         "--skip-backend-comparison",
@@ -159,6 +183,7 @@ def resolve_config(args: argparse.Namespace) -> dict:
     config["tile_size"] = args.tile_size
     config["backend"] = args.backend
     config["workers"] = args.workers
+    config["queue_depth"] = args.queue_depth
     config["http_clients"] = args.http_clients
     config["seed"] = args.seed
     config["quick"] = bool(args.quick)
@@ -193,7 +218,9 @@ def make_store(config: dict, args: argparse.Namespace) -> SceneStore:
     )
 
 
-def check_bit_identity(store: SceneStore, config: dict, workers: int = None) -> Dict[str, bool]:
+def check_bit_identity(
+    store: SceneStore, config: dict, workers: int = None, queue_depth: int = None
+) -> Dict[str, bool]:
     """A tile-sharded, scheduled frame must equal the direct engine render —
     under every execution backend, including process workers that rebuild
     their bundles from scratch.
@@ -210,7 +237,11 @@ def check_bit_identity(store: SceneStore, config: dict, workers: int = None) -> 
     ).image
     identity = {}
     for backend_name in BACKEND_NAMES:
-        with RenderServer(store, backend=make_backend(backend_name, workers)) as server:
+        # The serial backend takes no queue, so the knob only reaches pools.
+        depth = queue_depth if backend_name != "serial" else None
+        with RenderServer(
+            store, backend=make_backend(backend_name, workers, queue_depth=depth)
+        ) as server:
             job = server.submit(scene, pipeline, tile_size=tile_size)
             server.run_until_idle()
             served = server.result(job).image
@@ -218,7 +249,9 @@ def check_bit_identity(store: SceneStore, config: dict, workers: int = None) -> 
     return identity
 
 
-def run_backend_comparison(store: SceneStore, config: dict, workers: int = None) -> dict:
+def run_backend_comparison(
+    store: SceneStore, config: dict, workers: int = None, queue_depth: int = None
+) -> dict:
     """Replay one closed-loop workload under serial and process backends.
 
     Both runs use warmed stores (one untimed job per scene x pipeline pair
@@ -232,7 +265,8 @@ def run_backend_comparison(store: SceneStore, config: dict, workers: int = None)
     items = closed_loop_workload(scenes, pipelines, config["requests"], seed=config["seed"])
     comparison = {}
     for backend_name in ("serial", "process"):
-        backend = make_backend(backend_name, workers)
+        depth = queue_depth if backend_name != "serial" else None
+        backend = make_backend(backend_name, workers, queue_depth=depth)
         concurrency = max(config["concurrency"], 2 * backend.num_workers)
         with RenderServer(
             store, backend=backend, default_tile_size=config["tile_size"]
@@ -263,7 +297,9 @@ def run_backend_comparison(store: SceneStore, config: dict, workers: int = None)
     return comparison
 
 
-def run_http_section(store: SceneStore, config: dict, workers: int = None) -> dict:
+def run_http_section(
+    store: SceneStore, config: dict, workers: int = None, queue_depth: int = None
+) -> dict:
     """Benchmark the HTTP/SSE edge with real sockets and concurrent clients.
 
     One front end over one server (the ``--backend`` choice); each client
@@ -278,7 +314,7 @@ def run_http_section(store: SceneStore, config: dict, workers: int = None) -> di
     scenes, pipelines = config["scenes"], config["pipelines"]
     server = RenderServer(
         store,
-        backend=make_backend(config["backend"], workers),
+        backend=make_backend(config["backend"], workers, queue_depth=queue_depth),
         default_tile_size=config["tile_size"],
     )
     edge = HttpRenderFrontEnd(server)
@@ -356,6 +392,119 @@ def run_http_section(store: SceneStore, config: dict, workers: int = None) -> di
     return section
 
 
+def run_chaos_section(config: dict, args: argparse.Namespace) -> dict:
+    """Replay the closed-loop workload on a process pool under injected fault.
+
+    The :class:`FaultPlan` kills worker 0 after a few tiles and poisons the
+    bundle build of one key the workload does not use; hedging and work
+    stealing are armed.  One extra job for the poisoned key is submitted on
+    top of the workload.  The section records terminal-state counts, the
+    elasticity counters, and whether every completed frame stayed
+    bit-identical to a direct engine render — the serve layer's promise that
+    under worker death the scheduler heals instead of failing jobs.
+
+    Runs on its own store: the workload must pay shard rebuild costs the
+    fault actually causes, not inherit warmth from the earlier sections.
+    """
+    scenes, pipelines = config["scenes"], config["pipelines"]
+    store = make_store(config, args)
+    # An odd tile size that shards a frame into several tiles, so a kill
+    # lands mid-job and the final partial tile is exercised.
+    tile_size = config["tile_size"] or 401
+    workload_pipeline = pipelines[0]
+    poison_key = (scenes[0], pipelines[-1]) if len(pipelines) > 1 else None
+    plan = FaultPlan(kill_worker=0, kill_after_tiles=3, poison_key=poison_key)
+    backend = ProcessPoolBackend(
+        num_workers=args.workers or 2,
+        queue_depth=args.queue_depth if args.queue_depth is not None else 2,
+        fault_plan=plan,
+        hedge_multiplier=4.0,
+        steal_interval_s=0.25,
+    )
+    direct = {
+        (scene, workload_pipeline): store.get(scene, workload_pipeline)
+        .engine.render(camera_indices=(0,), chunk_size=tile_size)
+        .image
+        for scene in scenes
+    }
+    items = closed_loop_workload(
+        scenes, [workload_pipeline], config["requests"], seed=config["seed"]
+    )
+    with RenderServer(store, backend=backend, default_tile_size=tile_size) as server:
+        start = time.perf_counter()
+        job_ids = replay_closed_loop(server, items, config["concurrency"])
+        poisoned_id = (
+            server.submit(*poison_key, tile_size=tile_size) if poison_key else None
+        )
+        server.run_until_idle()
+        wall = time.perf_counter() - start
+        outcomes = summarize_outcomes(server, job_ids)
+        identical = all(
+            np.array_equal(
+                server.result(job_id).image,
+                direct[(server.result(job_id).scene, server.result(job_id).pipeline)],
+            )
+            for job_id in job_ids
+            if server.poll(job_id).state is JobState.DONE
+        )
+        poisoned_view = server.poll(poisoned_id) if poisoned_id else None
+        stats = server.stats()
+    section = {
+        "fault_plan": {
+            "kill_worker": plan.kill_worker,
+            "kill_after_tiles": plan.kill_after_tiles,
+            "poison_key": list(poison_key) if poison_key else None,
+        },
+        "workers": backend.num_workers,
+        "queue_depth": backend.queue_depth,
+        "wall_s": wall,
+        "requests": len(job_ids),
+        "completed_under_fault": outcomes.get("done", 0),
+        "outcomes": outcomes,
+        "bit_identical_under_fault": bool(identical),
+        "poisoned_job": (
+            {
+                "state": poisoned_view.state.value,
+                "typed_error": "PoisonedBundleError" in (poisoned_view.error or ""),
+            }
+            if poisoned_view is not None
+            else None
+        ),
+        "worker_respawns": stats.worker_respawns,
+        "redispatched_tiles": stats.redispatched_tiles,
+        "hedged_tiles": stats.hedged_tiles,
+        "stolen_keys": stats.stolen_keys,
+    }
+    return section
+
+
+def chaos_guard_failures(section: dict) -> List[str]:
+    """The chaos section's promises, as guard failures when broken."""
+    failures = []
+    if section["completed_under_fault"] < section["requests"]:
+        failures.append(
+            f"chaos: only {section['completed_under_fault']}/{section['requests']} "
+            f"workload jobs completed under fault (outcomes {section['outcomes']})"
+        )
+    if not section["bit_identical_under_fault"]:
+        failures.append(
+            "chaos: a frame completed under fault differs from the direct engine render"
+        )
+    if section["worker_respawns"] < 1:
+        failures.append("chaos: the killed worker was never respawned")
+    if section["redispatched_tiles"] < 1:
+        failures.append("chaos: no in-flight tile was re-dispatched after the kill")
+    poisoned = section["poisoned_job"]
+    if poisoned is not None and (
+        poisoned["state"] != "failed" or not poisoned["typed_error"]
+    ):
+        failures.append(
+            f"chaos: poisoned job ended {poisoned['state']} "
+            f"(typed error: {poisoned['typed_error']}), expected a typed failure"
+        )
+    return failures
+
+
 def group_results(results: List[ServeResult]) -> Dict[str, dict]:
     """Per-``scene/pipeline`` throughput and latency percentiles."""
     groups: Dict[str, List[ServeResult]] = {}
@@ -396,7 +545,9 @@ def run(args: argparse.Namespace) -> int:
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
     }
 
-    identity = check_bit_identity(store, config, workers=args.workers)
+    identity = check_bit_identity(
+        store, config, workers=args.workers, queue_depth=args.queue_depth
+    )
     report["bit_identical_to_direct_render"] = identity
     identical = all(identity.values())
     print(f"bit-identity vs direct engine render: {identity}")
@@ -404,7 +555,7 @@ def run(args: argparse.Namespace) -> int:
     # Closed loop: fixed client pool, sustainable throughput.
     closed_server = RenderServer(
         store,
-        backend=make_backend(config["backend"], args.workers),
+        backend=make_backend(config["backend"], args.workers, queue_depth=args.queue_depth),
         default_tile_size=config["tile_size"],
     )
     closed_items = closed_loop_workload(
@@ -429,7 +580,7 @@ def run(args: argparse.Namespace) -> int:
     # Open loop: Poisson arrivals against the (now warm) store.
     open_server = RenderServer(
         store,
-        backend=make_backend(config["backend"], args.workers),
+        backend=make_backend(config["backend"], args.workers, queue_depth=args.queue_depth),
         default_tile_size=config["tile_size"],
     )
     open_items = poisson_workload(
@@ -453,7 +604,9 @@ def run(args: argparse.Namespace) -> int:
     # Backend comparison: the same closed-loop workload, serial vs process.
     speedup = None
     if not args.skip_backend_comparison:
-        comparison = run_backend_comparison(store, config, workers=args.workers)
+        comparison = run_backend_comparison(
+            store, config, workers=args.workers, queue_depth=args.queue_depth
+        )
         report["backend_comparison"] = comparison
         speedup = comparison["process_vs_serial_speedup"]
         serial_part, pool_part = comparison["serial"], comparison["process"]
@@ -465,7 +618,9 @@ def run(args: argparse.Namespace) -> int:
     # HTTP edge: multi-client open loop over real sockets.
     http_section = None
     if args.http:
-        http_section = run_http_section(store, config, workers=args.workers)
+        http_section = run_http_section(
+            store, config, workers=args.workers, queue_depth=args.queue_depth
+        )
         report["http"] = http_section
         print(f"http [{config['http_clients']} clients @ {config['rate_hz']:.1f} Hz each]: "
               f"{http_section['completed']}/{http_section['requests']} jobs in "
@@ -473,6 +628,23 @@ def run(args: argparse.Namespace) -> int:
               f"{http_section['throughput_jobs_per_s']:.2f} jobs/s  "
               f"request p95 {http_section['edge']['request_latency_p95_s'] * 1e3:.1f}ms  "
               f"bit-identical {http_section['bit_identical_over_http']}")
+
+    # Chaos: the closed-loop workload again, now with a worker kill and a
+    # poisoned build injected — completion counts prove the pool heals.
+    chaos_section = None
+    if args.chaos:
+        chaos_section = run_chaos_section(config, args)
+        report["chaos"] = chaos_section
+        print(f"chaos [process x{chaos_section['workers']}, kill worker "
+              f"{chaos_section['fault_plan']['kill_worker']} after "
+              f"{chaos_section['fault_plan']['kill_after_tiles']} tiles]: "
+              f"{chaos_section['completed_under_fault']}/{chaos_section['requests']} "
+              f"jobs completed in {chaos_section['wall_s']:.2f}s  "
+              f"respawns {chaos_section['worker_respawns']}  "
+              f"redispatched {chaos_section['redispatched_tiles']}  "
+              f"hedged {chaos_section['hedged_tiles']}  "
+              f"stolen {chaos_section['stolen_keys']}  "
+              f"bit-identical {chaos_section['bit_identical_under_fault']}")
 
     store_stats = store.stats()
     report["store"] = {
@@ -511,6 +683,8 @@ def run(args: argparse.Namespace) -> int:
                 f"HTTP open loop completed {http_section['completed']}"
                 f"/{http_section['requests']} requests"
             )
+    if chaos_section is not None:
+        failures.extend(chaos_guard_failures(chaos_section))
     if args.min_store_hit_rate is not None and store_stats.hit_rate < args.min_store_hit_rate:
         failures.append(
             f"store hit rate {store_stats.hit_rate:.2f} below required "

@@ -25,7 +25,11 @@ Six layers, one module each:
   :class:`SerialBackend` (deterministic, default),
   :class:`ThreadPoolBackend` (shared store, GIL-bound), and
   :class:`ProcessPoolBackend` (shared-nothing store shards, tiles routed by
-  ``(scene, pipeline)`` affinity — true parallelism).
+  ``(scene, pipeline)`` affinity — true parallelism).  The process pool is
+  self-healing and elastic: dead workers respawn from the store spec with
+  their in-flight tiles re-dispatched, slow tiles are speculatively hedged,
+  hot keys migrate to idle shards, and a :class:`FaultPlan` injects
+  reproducible chaos (kill / poison / delay) for the failure tests.
 * :mod:`~repro.serve.server` — :class:`RenderServer`: a pure scheduler with
   submit/poll/result, priority + FIFO queues with per-tile round-robin,
   count- and cost-based admission (priced by the hardware layer's
@@ -47,6 +51,7 @@ fairness, and :class:`~repro.serve.http.RenderClient` consumes it.
 from repro.serve.backends import (
     BACKEND_NAMES,
     ExecutionBackend,
+    FaultPlan,
     ProcessPoolBackend,
     SerialBackend,
     ThreadPoolBackend,
@@ -64,7 +69,13 @@ from repro.serve.server import (
     TileUpdate,
     UnknownJobError,
 )
-from repro.serve.store import SceneBundleRecord, SceneStore, SceneStoreSpec, SceneStoreStats
+from repro.serve.store import (
+    PoisonedBundleError,
+    SceneBundleRecord,
+    SceneStore,
+    SceneStoreSpec,
+    SceneStoreStats,
+)
 from repro.serve.telemetry import ServerStats, Telemetry, percentile
 from repro.serve.tiles import Tile, assemble_tiles, plan_tiles
 from repro.serve.traffic import (
@@ -75,6 +86,7 @@ from repro.serve.traffic import (
     poisson_workload,
     replay_closed_loop,
     replay_open_loop,
+    summarize_outcomes,
 )
 
 __all__ = [
@@ -83,6 +95,7 @@ __all__ = [
     "SceneStoreSpec",
     "SceneBundleRecord",
     "SceneStoreStats",
+    "PoisonedBundleError",
     # tiles
     "Tile",
     "plan_tiles",
@@ -94,6 +107,7 @@ __all__ = [
     "ProcessPoolBackend",
     "TileTask",
     "TileResult",
+    "FaultPlan",
     "BACKEND_NAMES",
     "make_backend",
     # server
@@ -117,4 +131,5 @@ __all__ = [
     "replay_open_loop",
     "replay_closed_loop",
     "http_open_loop",
+    "summarize_outcomes",
 ]

@@ -35,6 +35,30 @@ Bit-identity holds across all three backends because a tile renders as a
 single contiguous ray batch (:func:`repro.api.render_tile`) regardless of
 who executes it; see :mod:`repro.serve.tiles` for why batch geometry is the
 only thing the bits depend on.
+
+**Elasticity.**  Tile renders are deterministic in ``(scene, pipeline,
+camera, span)``, so a duplicate completion of any tile is byte-identical to
+the first and safely droppable — which makes every failure-tolerance
+mechanism here safe by construction.  The process pool uses that freedom
+three ways, all driven from a supervision sweep that runs on every
+:meth:`~ExecutionBackend.collect` and once per server step via
+:meth:`~ExecutionBackend.maintain`:
+
+* **supervision + respawn** — a dead worker process is replaced by a fresh
+  one rebuilt from the picklable :class:`~repro.serve.store.SceneStoreSpec`,
+  and every tile that was resident on the dead shard is re-dispatched to the
+  replacement (``worker_respawns`` / ``redispatched_tiles``);
+* **speculative hedging** — a tile in flight longer than a configurable
+  multiple of its key's observed p95 service time is duplicated onto the
+  least-loaded other worker; the first completion wins and the loser is
+  dropped by the scheduler (``hedged_tiles``);
+* **work stealing** — when one shard is saturated while another sits idle,
+  the hottest ``(scene, pipeline)`` key migrates its affinity to the idle
+  worker, at a bounded rate so bundles don't thrash (``stolen_keys``).
+
+Reproducible chaos is injected with a :class:`FaultPlan` (kill worker *N*
+after *M* tiles, poison one bundle build, delay a worker), threaded through
+:func:`make_backend` so tests and benchmarks can prove jobs survive.
 """
 
 from __future__ import annotations
@@ -44,8 +68,9 @@ import os
 import queue as queue_lib
 import threading
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -56,6 +81,7 @@ from repro.serve.store import SceneStore
 __all__ = [
     "TileTask",
     "TileResult",
+    "FaultPlan",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadPoolBackend",
@@ -108,6 +134,62 @@ class TileResult:
     bundle_cached: bool = True
     memory_bytes: int = 0
     error: Optional[str] = None
+    #: Set by the *backend* (never a worker) when this completion resolves a
+    #: tile that already completed — a hedge loser, or a re-dispatched copy
+    #: whose original also made it back.  The scheduler drops it (the bytes
+    #: are identical by construction) and counts ``dropped_tile_results``.
+    duplicate: bool = False
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible failure-injection recipe for the pool backends.
+
+    Plans are plain picklable data threaded through :func:`make_backend`
+    down into the workers, so chaos tests and ``perf_serve.py --chaos`` can
+    stage the exact same disasters on every run:
+
+    * ``kill_worker`` / ``kill_after_tiles`` — worker ``kill_worker``
+      hard-exits (``os._exit``) the moment it picks up its
+      ``kill_after_tiles``-th task, *without* answering it: the canonical
+      crash mid-render.  Results it already reported are flushed first, so
+      the parent sees a realistic partial history.  The respawned
+      replacement does not inherit the kill (one crash per plan), which is
+      what keeps re-dispatch a guarantee of progress.  Process backend only.
+    * ``poison_key`` — the ``(scene, pipeline)`` whose bundle build raises
+      :class:`~repro.serve.store.PoisonedBundleError` in every worker store:
+      a corrupt checkpoint.  Jobs needing that bundle fail with the typed
+      error; everything else keeps rendering.
+    * ``delay_worker`` / ``delay_s`` — worker ``delay_worker`` sleeps
+      ``delay_s`` before each tile: a degraded-but-alive shard, the case
+      speculative hedging exists for.
+    """
+
+    kill_worker: Optional[int] = None
+    kill_after_tiles: int = 1
+    poison_key: Optional[Tuple[str, str]] = None
+    delay_worker: Optional[int] = None
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kill_after_tiles < 1:
+            raise ValueError(f"kill_after_tiles must be at least 1, got {self.kill_after_tiles}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be non-negative, got {self.delay_s}")
+
+    def without_kill(self) -> "FaultPlan":
+        """The same plan minus the crash — what a respawned worker receives."""
+        return replace(self, kill_worker=None)
+
+
+@dataclass(eq=False)
+class _Dispatch:
+    """Routing state of one in-flight tile (pool backends only)."""
+
+    task: TileTask
+    worker: int
+    dispatched_at: float
+    hedge_worker: Optional[int] = None
 
 
 def _execute_tile(store: SceneStore, task: TileTask, worker_id: int) -> TileResult:
@@ -166,6 +248,12 @@ class ExecutionBackend:
     def __init__(self) -> None:
         self._in_flight = 0
         self._started = False
+        #: Elasticity counters the server folds into :class:`ServerStats`.
+        #: Only the process pool ever moves them; they stay 0 elsewhere.
+        self.worker_respawns = 0
+        self.redispatched_tiles = 0
+        self.hedged_tiles = 0
+        self.stolen_keys = 0
 
     # -- lifecycle ------------------------------------------------------
     def start(self, store: SceneStore) -> None:
@@ -216,11 +304,24 @@ class ExecutionBackend:
         Non-blocking by default; with ``block=True`` and tasks in flight,
         waits up to ``timeout`` (default ``_COLLECT_BLOCK_S``) for at least
         one completion, returning empty-handed on expiry so the scheduler
-        stays responsive.  Raises if workers have died with work in flight.
+        stays responsive.  Dead workers never raise out of here: the pool
+        backends run their supervision sweep first (respawn + re-dispatch)
+        and the scheduler simply keeps collecting.  Results flagged
+        ``duplicate`` resolve tiles already counted, so only first
+        completions drain ``in_flight``.
         """
         results = self._collect(block=block and self._in_flight > 0, timeout=timeout)
-        self._in_flight -= len(results)
+        self._in_flight -= sum(1 for result in results if not result.duplicate)
         return results
+
+    def maintain(self) -> None:
+        """Periodic elasticity hook, called once per :meth:`RenderServer.step`.
+
+        The base backends have nothing to do; the process pool supervises
+        (respawn dead shards, re-dispatch their tiles), hedges stragglers and
+        rebalances hot keys here — *between* collects, so a stalled worker is
+        handled even while results from the others keep the queue full.
+        """
 
     # -- subclass hooks -------------------------------------------------
     def _max_in_flight(self) -> int:
@@ -274,6 +375,15 @@ class SerialBackend(ExecutionBackend):
         self._done = []
 
 
+def _drain_queue(q) -> None:
+    """Best-effort empty of a (possibly half-closed) queue, never blocking."""
+    while True:
+        try:
+            q.get_nowait()
+        except (queue_lib.Empty, OSError, ValueError, EOFError):
+            return
+
+
 class _PoolBackend(ExecutionBackend):
     """Shared plumbing of the worker-pool backends.
 
@@ -281,9 +391,20 @@ class _PoolBackend(ExecutionBackend):
     in.  Routing is by sticky ``(scene, pipeline)`` affinity — first touch
     picks the worker with the fewest assigned keys — so bundles are resident
     exactly once across the pool and never rendered concurrently.
+
+    Every in-flight tile is tracked in an ``_outstanding`` table keyed by
+    ``(job_id, tile_index)``: the supervisor reads it to know which tiles
+    were resident on a dead worker, and completions that resolve an
+    already-resolved entry (hedge losers, re-dispatch echoes) are flagged
+    ``duplicate`` so nothing is ever double-counted.
     """
 
-    def __init__(self, num_workers: Optional[int] = None, queue_depth: int = 2) -> None:
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        queue_depth: int = 2,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
         super().__init__()
         if num_workers is not None and num_workers < 1:
             raise ValueError(f"num_workers must be at least 1, got {num_workers}")
@@ -293,14 +414,23 @@ class _PoolBackend(ExecutionBackend):
         #: Submitted-not-collected tiles the scheduler may run ahead per
         #: worker; 2 keeps every worker busy while it renders.
         self.queue_depth = queue_depth
+        self.fault_plan = fault_plan
         self._affinity: Dict[Tuple[str, str], int] = {}
         self._keys_per_worker = [0] * self.num_workers
         self._inflight_per_worker = [0] * self.num_workers
+        #: Dispatches per key since its last migration (the steal heat signal).
+        self._key_dispatches: Dict[Tuple[str, str], int] = {}
+        #: In-flight tiles by ``(job_id, tile_index)``.
+        self._outstanding: Dict[Tuple[str, int], _Dispatch] = {}
         self._task_queues: list = []
         self._result_queue = None
 
     def _start(self, store: SceneStore) -> None:
+        self._affinity = {}
+        self._keys_per_worker = [0] * self.num_workers
         self._inflight_per_worker = [0] * self.num_workers
+        self._key_dispatches = {}
+        self._outstanding = {}
         self._launch(store)
 
     def _launch(self, store: SceneStore) -> None:
@@ -334,38 +464,58 @@ class _PoolBackend(ExecutionBackend):
 
     def _submit(self, task: TileTask) -> None:
         worker = self.worker_for(task.key)
+        self._key_dispatches[task.key] = self._key_dispatches.get(task.key, 0) + 1
+        self._outstanding[(task.job_id, task.tile_index)] = _Dispatch(
+            task=task, worker=worker, dispatched_at=time.monotonic()
+        )
         self._inflight_per_worker[worker] += 1
         self._task_queues[worker].put(task)
 
     def _collect(self, block: bool, timeout: Optional[float]) -> List[TileResult]:
-        results: List[TileResult] = []
         assert self._result_queue is not None
-        while True:
-            try:
-                results.append(self._result_queue.get_nowait())
-            except queue_lib.Empty:
-                break
+        # Supervise on EVERY collect — a dead worker must not hide behind a
+        # result queue kept full by the surviving workers.
+        self._supervise()
+        results = self._drain_results()
         if block and not results:
-            self._check_health()
             try:
-                results.append(
-                    self._result_queue.get(
-                        timeout=timeout if timeout is not None else _COLLECT_BLOCK_S
-                    )
+                first = self._result_queue.get(
+                    timeout=timeout if timeout is not None else _COLLECT_BLOCK_S
                 )
             except queue_lib.Empty:
                 return results  # nothing finished in time; the caller re-steps
-            while True:  # and whatever else finished meanwhile
-                try:
-                    results.append(self._result_queue.get_nowait())
-                except queue_lib.Empty:
-                    break
-        for result in results:
-            self._inflight_per_worker[result.worker_id] -= 1
+            results = self._ingest([first])
+            results.extend(self._drain_results())  # whatever else finished meanwhile
         return results
 
-    def _check_health(self) -> None:
-        """Raise if the pool can no longer make progress (dead workers)."""
+    def _drain_results(self) -> List[TileResult]:
+        raw: List[TileResult] = []
+        while True:
+            try:
+                raw.append(self._result_queue.get_nowait())
+            except queue_lib.Empty:
+                break
+        return self._ingest(raw)
+
+    def _ingest(self, raw: List[TileResult]) -> List[TileResult]:
+        """Resolve arrivals against the outstanding table (dedup + accounting)."""
+        for result in raw:
+            dispatch = self._outstanding.pop((result.job_id, result.tile_index), None)
+            if dispatch is None:
+                result.duplicate = True
+            else:
+                self._resolved(dispatch, result)
+            if 0 <= result.worker_id < self.num_workers:
+                if self._inflight_per_worker[result.worker_id] > 0:
+                    self._inflight_per_worker[result.worker_id] -= 1
+        return raw
+
+    def _resolved(self, dispatch: _Dispatch, result: TileResult) -> None:
+        """First completion of an outstanding tile (subclass hook)."""
+
+    def _supervise(self) -> None:
+        """Detect and repair dead workers (no-op for threads — they cannot
+        die silently; ``_execute_tile`` never lets an exception escape)."""
 
 
 def _thread_worker(
@@ -373,11 +523,18 @@ def _thread_worker(
     store: SceneStore,
     task_queue: "queue_lib.SimpleQueue",
     result_queue: "queue_lib.SimpleQueue",
+    fault_plan: Optional[FaultPlan] = None,
 ) -> None:
     while True:
         task = task_queue.get()
         if task is None:
             return
+        if (
+            fault_plan is not None
+            and fault_plan.delay_worker == worker_id
+            and fault_plan.delay_s > 0
+        ):
+            time.sleep(fault_plan.delay_s)
         result_queue.put(_execute_tile(store, task, worker_id))
 
 
@@ -393,13 +550,28 @@ class ThreadPoolBackend(_PoolBackend):
 
     name = "thread"
 
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        queue_depth: int = 2,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        super().__init__(num_workers=num_workers, queue_depth=queue_depth, fault_plan=fault_plan)
+        if fault_plan is not None and fault_plan.kill_worker is not None:
+            raise ValueError(
+                "FaultPlan.kill_worker requires the process backend "
+                "(a thread cannot be crashed from outside)"
+            )
+
     def _launch(self, store: SceneStore) -> None:
+        if self.fault_plan is not None and self.fault_plan.poison_key is not None:
+            store.poison(*self.fault_plan.poison_key)
         self._task_queues = [queue_lib.SimpleQueue() for _ in range(self.num_workers)]
         self._result_queue = queue_lib.SimpleQueue()
         self._threads = [
             threading.Thread(
                 target=_thread_worker,
-                args=(i, store, self._task_queues[i], self._result_queue),
+                args=(i, store, self._task_queues[i], self._result_queue, self.fault_plan),
                 name=f"serve-worker-{i}",
                 daemon=True,
             )
@@ -409,24 +581,54 @@ class ThreadPoolBackend(_PoolBackend):
             thread.start()
 
     def _close(self) -> None:
+        # Drop the undispatched backlog first so each worker reaches its
+        # sentinel after at most the tile it is currently rendering — close
+        # with work in flight must not render the queue dry before exiting.
+        for task_queue in self._task_queues:
+            _drain_queue(task_queue)
         for task_queue in self._task_queues:
             task_queue.put(None)
         for thread in self._threads:
             thread.join(timeout=5.0)
+        _drain_queue(self._result_queue)
+        self._outstanding.clear()
 
 
-def _process_worker(worker_id, spec, num_shards, task_queue, result_queue) -> None:
+def _process_worker(worker_id, spec, num_shards, task_queue, result_queue, fault_plan=None) -> None:
     """Entry point of one shared-nothing worker process.
 
     Builds this shard's own store from the spec (per-shard memory budget)
     and serves tasks until the ``None`` sentinel.  Runs until then; errors
-    travel back as :class:`TileResult.error`, never as a dead process.
+    travel back as :class:`TileResult.error`, never as a dead process —
+    except when a :class:`FaultPlan` deliberately crashes this worker, which
+    is what the supervisor exists to survive.
     """
     store = SceneStore.from_spec(spec, shard_index=worker_id, num_shards=num_shards)
+    if fault_plan is not None and fault_plan.poison_key is not None:
+        store.poison(*fault_plan.poison_key)
+    tiles_taken = 0
     while True:
         task = task_queue.get()
         if task is None:
             return
+        tiles_taken += 1
+        if (
+            fault_plan is not None
+            and fault_plan.kill_worker == worker_id
+            and tiles_taken >= fault_plan.kill_after_tiles
+        ):
+            # Crash "mid-render": flush results already reported (a torn
+            # pickle in the result pipe would fail the *parent*), then die
+            # without answering this task — it must be re-dispatched.
+            result_queue.close()
+            result_queue.join_thread()
+            os._exit(1)
+        if (
+            fault_plan is not None
+            and fault_plan.delay_worker == worker_id
+            and fault_plan.delay_s > 0
+        ):
+            time.sleep(fault_plan.delay_s)
         result_queue.put(_execute_tile(store, task, worker_id))
 
 
@@ -439,33 +641,114 @@ class ProcessPoolBackend(_PoolBackend):
     cross the process boundary.  This sidesteps the GIL entirely: per-tile
     Python overhead — sampling, masking, bookkeeping — runs truly in
     parallel, which the thread backend cannot offer.
+
+    Shared-nothing is also what makes this the *elastic* backend: a shard
+    can be killed and rebuilt from the spec at any time, and a tile may
+    safely render on two shards at once (each owns a private bundle), so
+    supervision/respawn, speculative hedging and key stealing all live here.
+    The thread backend gets none of them — its workers share one store, and
+    two threads must never render the same engine concurrently.
+
+    Parameters (beyond the pool's ``num_workers``/``queue_depth``/
+    ``fault_plan``):
+
+    hedge_multiplier:
+        A tile in flight longer than ``hedge_multiplier`` x the p95 service
+        time observed for its key (falling back to the pool-wide p95 until
+        the key has ``hedge_min_samples`` of its own) is speculatively
+        duplicated onto the least-loaded other worker.  ``None`` (default)
+        disables hedging.
+    hedge_min_samples:
+        Completions needed before a p95 is trusted (default 8).
+    hedge_budget:
+        Maximum speculative duplicates in flight at once (default: one per
+        worker) — hedging may never more than double the pool's load.
+    steal_interval_s:
+        Minimum seconds between affinity migrations.  When the hottest
+        worker is saturated (at ``queue_depth``) while another sits idle,
+        the hot worker's most-dispatched ``(scene, pipeline)`` key moves its
+        affinity to the idle worker, which rebuilds the bundle
+        deterministically on first touch.  ``None`` (default) disables
+        stealing; the bound keeps bundles from thrashing between shards.
     """
 
     name = "process"
 
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        queue_depth: int = 2,
+        fault_plan: Optional[FaultPlan] = None,
+        hedge_multiplier: Optional[float] = None,
+        hedge_min_samples: int = 8,
+        hedge_budget: Optional[int] = None,
+        steal_interval_s: Optional[float] = None,
+    ) -> None:
+        super().__init__(num_workers=num_workers, queue_depth=queue_depth, fault_plan=fault_plan)
+        if hedge_multiplier is not None and hedge_multiplier <= 0:
+            raise ValueError(f"hedge_multiplier must be positive, got {hedge_multiplier}")
+        if hedge_min_samples < 1:
+            raise ValueError(f"hedge_min_samples must be at least 1, got {hedge_min_samples}")
+        if hedge_budget is not None and hedge_budget < 1:
+            raise ValueError(f"hedge_budget must be at least 1, got {hedge_budget}")
+        if steal_interval_s is not None and steal_interval_s < 0:
+            raise ValueError(f"steal_interval_s must be non-negative, got {steal_interval_s}")
+        self.hedge_multiplier = hedge_multiplier
+        self.hedge_min_samples = hedge_min_samples
+        self.hedge_budget = hedge_budget if hedge_budget is not None else self.num_workers
+        self.steal_interval_s = steal_interval_s
+        self._spec = None
+        self._ctx = None
+        self._processes: list = []
+        self._hedges_in_flight = 0
+        self._service_samples: Dict[Tuple[str, str], Deque[float]] = {}
+        self._all_samples: Deque[float] = deque(maxlen=256)
+        self._last_steal: Optional[float] = None
+
+    # -- lifecycle ------------------------------------------------------
     def _launch(self, store: SceneStore) -> None:
-        spec = store.spec()
+        self._spec = store.spec()
         methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
-        self._task_queues = [ctx.Queue() for _ in range(self.num_workers)]
-        self._result_queue = ctx.Queue()
-        self._processes = [
-            ctx.Process(
-                target=_process_worker,
-                args=(i, spec, self.num_workers, self._task_queues[i], self._result_queue),
-                name=f"serve-shard-{i}",
-                daemon=True,
-            )
-            for i in range(self.num_workers)
-        ]
-        for process in self._processes:
-            process.start()
+        self._ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+        self._result_queue = self._ctx.Queue()
+        self._task_queues = []
+        self._processes = []
+        self._hedges_in_flight = 0
+        self._service_samples = {}
+        self._all_samples = deque(maxlen=256)
+        self._last_steal = None
+        for worker_id in range(self.num_workers):
+            task_queue, process = self._spawn_worker(worker_id, self.fault_plan)
+            self._task_queues.append(task_queue)
+            self._processes.append(process)
+
+    def _spawn_worker(self, worker_id: int, fault_plan: Optional[FaultPlan]):
+        task_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_process_worker,
+            args=(
+                worker_id,
+                self._spec,
+                self.num_workers,
+                task_queue,
+                self._result_queue,
+                fault_plan,
+            ),
+            name=f"serve-shard-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        return task_queue, process
 
     def _close(self) -> None:
+        # Drop undispatched backlog, then sentinel every worker: a live
+        # worker exits after at most its current tile; a dead worker's queue
+        # must not wedge the feeder thread (drain + cancel_join_thread).
         for task_queue in self._task_queues:
+            _drain_queue(task_queue)
             try:
-                task_queue.put(None)
-            except (OSError, ValueError):
+                task_queue.put_nowait(None)
+            except (OSError, ValueError, queue_lib.Full):
                 pass
         for process in self._processes:
             process.join(timeout=5.0)
@@ -473,26 +756,190 @@ class ProcessPoolBackend(_PoolBackend):
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=1.0)
+        for q in [*self._task_queues, self._result_queue]:
+            if q is None:
+                continue
+            _drain_queue(q)
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except (OSError, ValueError):
+                pass
+        self._outstanding.clear()
+        self._hedges_in_flight = 0
 
-    def _check_health(self) -> None:
-        dead = [p.name for p in self._processes if not p.is_alive()]
-        if dead and self._in_flight > 0:
-            raise RuntimeError(
-                f"ProcessPoolBackend: worker(s) {', '.join(dead)} died with "
-                f"{self._in_flight} tile(s) in flight"
+    # -- elasticity -----------------------------------------------------
+    def maintain(self) -> None:
+        if not self._started:
+            return
+        self._supervise()
+        self._hedge_stragglers()
+        self._steal_hot_key()
+
+    def _supervise(self) -> None:
+        """Respawn dead workers and re-dispatch the tiles they stranded."""
+        for worker_id, process in enumerate(self._processes):
+            if process.exitcode is not None and not process.is_alive():
+                self._respawn(worker_id)
+
+    def _respawn(self, worker_id: int) -> None:
+        self._processes[worker_id].join(timeout=1.0)  # reap the corpse
+        old_queue = self._task_queues[worker_id]
+        _drain_queue(old_queue)  # queued-but-unread tasks are re-dispatched below
+        try:
+            old_queue.close()
+            old_queue.cancel_join_thread()
+        except (OSError, ValueError):
+            pass
+        # One crash per plan: the replacement must make progress even under
+        # kill_after_tiles=1, so it inherits poison/delay but never the kill.
+        plan = self.fault_plan.without_kill() if self.fault_plan is not None else None
+        task_queue, process = self._spawn_worker(worker_id, plan)
+        self._task_queues[worker_id] = task_queue
+        self._processes[worker_id] = process
+        self.worker_respawns += 1
+        now = time.monotonic()
+        for dispatch in self._outstanding.values():
+            if dispatch.hedge_worker == worker_id:
+                # The hedge copy died; the primary is still out there.
+                dispatch.hedge_worker = None
+                self._hedges_in_flight = max(0, self._hedges_in_flight - 1)
+            if dispatch.worker == worker_id:
+                if dispatch.hedge_worker is not None:
+                    # A live hedge already covers this tile: promote it.
+                    dispatch.worker = dispatch.hedge_worker
+                    dispatch.hedge_worker = None
+                    self._hedges_in_flight = max(0, self._hedges_in_flight - 1)
+                else:
+                    task_queue.put(dispatch.task)
+                    dispatch.dispatched_at = now
+                    self.redispatched_tiles += 1
+        # Loads recomputed from the surviving routing table (results the dead
+        # worker flushed before dying resolve their entries on arrival).
+        loads = [0] * self.num_workers
+        for dispatch in self._outstanding.values():
+            loads[dispatch.worker] += 1
+            if dispatch.hedge_worker is not None:
+                loads[dispatch.hedge_worker] += 1
+        self._inflight_per_worker = loads
+
+    def _resolved(self, dispatch: _Dispatch, result: TileResult) -> None:
+        if dispatch.hedge_worker is not None:
+            # The losing copy still occupies its worker until its echo
+            # arrives, but the *pair* is settled — free the hedge budget.
+            self._hedges_in_flight = max(0, self._hedges_in_flight - 1)
+        if result.error is None and result.service_s > 0:
+            key = dispatch.task.key
+            samples = self._service_samples.get(key)
+            if samples is None:
+                samples = self._service_samples[key] = deque(maxlen=64)
+            samples.append(result.service_s)
+            self._all_samples.append(result.service_s)
+
+    def _hedge_stragglers(self) -> None:
+        if self.hedge_multiplier is None or self.num_workers < 2 or not self._outstanding:
+            return
+        now = time.monotonic()
+        for dispatch in self._outstanding.values():
+            if self._hedges_in_flight >= self.hedge_budget:
+                return
+            if dispatch.hedge_worker is not None:
+                continue
+            p95 = self._service_p95(dispatch.task.key)
+            if p95 is None or now - dispatch.dispatched_at <= self.hedge_multiplier * p95:
+                continue
+            target = min(
+                (w for w in range(self.num_workers) if w != dispatch.worker),
+                key=lambda w: self._inflight_per_worker[w],
             )
+            dispatch.hedge_worker = target
+            self._inflight_per_worker[target] += 1
+            self._task_queues[target].put(dispatch.task)
+            self._hedges_in_flight += 1
+            self.hedged_tiles += 1
+
+    def _service_p95(self, key: Tuple[str, str]) -> Optional[float]:
+        """The key's observed p95 service time (pool-wide until it has its
+        own history; ``None`` while there is too little of either)."""
+        samples = self._service_samples.get(key)
+        pool = samples if samples and len(samples) >= self.hedge_min_samples else self._all_samples
+        if len(pool) < self.hedge_min_samples:
+            return None
+        return float(np.percentile(np.asarray(pool, dtype=np.float64), 95))
+
+    def _steal_hot_key(self) -> None:
+        if self.steal_interval_s is None or self.num_workers < 2:
+            return
+        now = time.monotonic()
+        if self._last_steal is not None and now - self._last_steal < self.steal_interval_s:
+            return
+        loads = self._inflight_per_worker
+        hot = max(range(self.num_workers), key=lambda w: loads[w])
+        cold = min(range(self.num_workers), key=lambda w: loads[w])
+        if hot == cold or loads[hot] < self.queue_depth or loads[cold] > 0:
+            return
+        keys = [key for key, worker in self._affinity.items() if worker == hot]
+        if not keys:
+            return
+        key = max(keys, key=lambda k: self._key_dispatches.get(k, 0))
+        self._affinity[key] = cold
+        self._keys_per_worker[hot] -= 1
+        self._keys_per_worker[cold] += 1
+        self._key_dispatches[key] = 0  # heat resets with the move
+        self.stolen_keys += 1
+        self._last_steal = now
 
 
 #: Backend names :func:`make_backend` (and the benchmark CLI) accept.
 BACKEND_NAMES = ("serial", "thread", "process")
 
 
-def make_backend(name: str, num_workers: Optional[int] = None) -> ExecutionBackend:
-    """Construct a backend by name (``serial`` ignores ``num_workers``)."""
+def make_backend(
+    name: str,
+    num_workers: Optional[int] = None,
+    queue_depth: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    hedge_multiplier: Optional[float] = None,
+    steal_interval_s: Optional[float] = None,
+) -> ExecutionBackend:
+    """Construct a backend by name.
+
+    ``num_workers`` and ``queue_depth`` configure the pool backends (each
+    validates its own range); ``fault_plan`` injects reproducible failures
+    into a pool (kill is process-only); ``hedge_multiplier`` and
+    ``steal_interval_s`` enable speculative re-dispatch and work stealing on
+    the process pool.  The serial backend ignores ``num_workers`` (for CLI
+    convenience, as before) but refuses the elasticity knobs — asking for a
+    queue, a fault or a hedge it cannot honor is an error, not a silent
+    no-op.
+    """
     if name == "serial":
+        pool_only = {
+            "queue_depth": queue_depth,
+            "fault_plan": fault_plan,
+            "hedge_multiplier": hedge_multiplier,
+            "steal_interval_s": steal_interval_s,
+        }
+        refused = sorted(knob for knob, value in pool_only.items() if value is not None)
+        if refused:
+            raise ValueError(
+                f"the serial backend does not support: {', '.join(refused)}"
+            )
         return SerialBackend()
+    pool_kwargs: dict = {"num_workers": num_workers, "fault_plan": fault_plan}
+    if queue_depth is not None:
+        pool_kwargs["queue_depth"] = queue_depth
     if name == "thread":
-        return ThreadPoolBackend(num_workers=num_workers)
+        if hedge_multiplier is not None or steal_interval_s is not None:
+            raise ValueError(
+                "hedging and work stealing need shared-nothing workers; "
+                "use the process backend"
+            )
+        return ThreadPoolBackend(**pool_kwargs)
     if name == "process":
-        return ProcessPoolBackend(num_workers=num_workers)
+        return ProcessPoolBackend(
+            hedge_multiplier=hedge_multiplier,
+            steal_interval_s=steal_interval_s,
+            **pool_kwargs,
+        )
     raise ValueError(f"unknown backend {name!r}; choose from {', '.join(BACKEND_NAMES)}")

@@ -495,6 +495,10 @@ class RenderServer:
             num_workers=self.backend.num_workers,
             wall_s=wall,
             pending_cost=self._pending_cost,
+            worker_respawns=self.backend.worker_respawns,
+            redispatched_tiles=self.backend.redispatched_tiles,
+            hedged_tiles=self.backend.hedged_tiles,
+            stolen_keys=self.backend.stolen_keys,
         )
 
     # ------------------------------------------------------------------
@@ -510,8 +514,15 @@ class RenderServer:
         ``False`` when nothing is pending (the server is idle).  Deadline
         expiry happens here, at scheduling points — a tile already rendering
         is never aborted mid-flight; its result is dropped instead.
+
+        Each step also runs the backend's :meth:`maintain` hook — the
+        process pool's supervision sweep (respawn dead workers, re-dispatch
+        their tiles), speculative hedging and work stealing — so a worker
+        crash mid-job heals without the scheduler doing anything special:
+        jobs complete, bit-identically, through the repair.
         """
         self._expire_overdue()
+        self.backend.maintain()
         self._apply(self.backend.collect())
         dispatched = self._dispatch()
         if dispatched == 0 and self.backend.in_flight > 0:
@@ -647,6 +658,14 @@ class RenderServer:
             if job is None or job.state not in _ACTIVE_STATES:
                 # Late arrival for an expired/failed/retired job: the work is
                 # counted (it did busy a worker) but the frame is gone.
+                self.telemetry.dropped_tile_results += 1
+                continue
+            if result.duplicate or result.tile_index in job.tile_images:
+                # A hedge loser or re-dispatch echo: byte-identical to the
+                # copy already applied (renders are deterministic), so the
+                # first completion won and this one is dropped — even when
+                # the loser is an error, since the tile demonstrably
+                # rendered fine once.
                 self.telemetry.dropped_tile_results += 1
                 continue
             if result.error is not None:

@@ -30,10 +30,27 @@ from repro.core.config import SpNeRFConfig
 from repro.datasets.synthetic import SyntheticScene, load_scene
 from repro.nerf.occupancy import build_occupancy_index
 
-__all__ = ["SceneBundleRecord", "SceneStoreStats", "SceneStoreSpec", "SceneStore"]
+__all__ = [
+    "SceneBundleRecord",
+    "SceneStoreStats",
+    "SceneStoreSpec",
+    "SceneStore",
+    "PoisonedBundleError",
+]
 
 #: A ``(scene_name, pipeline)`` residency key.
 StoreKey = Tuple[str, str]
+
+
+class PoisonedBundleError(RuntimeError):
+    """A bundle build that was marked to fail by fault injection.
+
+    Raised from :meth:`SceneStore.get` for keys registered via
+    :meth:`SceneStore.poison` — the chaos suite's stand-in for a corrupt
+    checkpoint or a build that deterministically crashes.  It is a *typed*
+    job failure: the job that needed the bundle fails with this error in its
+    view, while the worker (and every other job) keeps serving.
+    """
 
 
 @dataclass(eq=False)
@@ -152,6 +169,8 @@ class SceneStore:
         self._entries: "OrderedDict[StoreKey, SceneBundleRecord]" = OrderedDict()
         self._scenes: Dict[str, SyntheticScene] = {}
         self._stats = SceneStoreStats()
+        #: Keys whose builds fail with :class:`PoisonedBundleError` (chaos).
+        self._poisoned: set = set()
         #: The store is shared between the scheduler (scene-level planning
         #: reads) and thread-backend workers (bundle builds): this reentrant
         #: lock serializes every bundle-level entry point.  Builds are
@@ -226,8 +245,26 @@ class SceneStore:
             cached = self._stats.misses == misses_before
             return record, cached, (0.0 if cached else elapsed)
 
+    def poison(self, scene_name: str, pipeline: str) -> None:
+        """Mark one bundle key as failing to build (reproducible chaos).
+
+        Every subsequent :meth:`get` of the key raises
+        :class:`PoisonedBundleError` — exactly where a real corrupt
+        checkpoint or crashing preprocessing step would surface.  An already
+        resident bundle is evicted first, so the poison takes effect
+        immediately rather than hiding behind residency.
+        """
+        key = (scene_name, pipeline)
+        with self._lock:
+            self.evict(key)
+            self._poisoned.add(key)
+
     def _get_locked(self, scene_name: str, pipeline: str) -> SceneBundleRecord:
         key = (scene_name, pipeline)
+        if key in self._poisoned:
+            raise PoisonedBundleError(
+                f"bundle build for {key} is poisoned (fault injection)"
+            )
         record = self._entries.get(key)
         if record is not None:
             self._entries.move_to_end(key)

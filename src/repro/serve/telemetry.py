@@ -47,6 +47,16 @@ class ServerStats:
     ``ooo_completions`` counts tiles that finished after a later-submitted
     tile of the same job — always 0 under the serial backend, and the
     direct measure of how much reordering the streaming delivery absorbs.
+
+    The four elasticity counters come from the execution backend's
+    supervisor and stay 0 everywhere but the process pool:
+    ``worker_respawns`` (dead worker processes replaced from the store
+    spec), ``redispatched_tiles`` (in-flight tiles re-sent after their
+    worker died), ``hedged_tiles`` (speculative duplicate dispatches of
+    slow tiles) and ``stolen_keys`` (``(scene, pipeline)`` affinity keys
+    migrated off a hot shard).  Duplicate completions those mechanisms
+    produce are dropped by the scheduler and counted in
+    ``dropped_tile_results``.
     """
 
     submitted: int = 0
@@ -62,6 +72,10 @@ class ServerStats:
     tiles_rendered: int = 0
     ooo_completions: int = 0
     dropped_tile_results: int = 0
+    worker_respawns: int = 0
+    redispatched_tiles: int = 0
+    hedged_tiles: int = 0
+    stolen_keys: int = 0
     num_rays: int = 0
     num_culled_samples: int = 0
     num_skipped_rays: int = 0
@@ -135,6 +149,10 @@ class Telemetry:
         num_workers: int = 1,
         wall_s: Optional[float] = None,
         pending_cost: float = 0.0,
+        worker_respawns: int = 0,
+        redispatched_tiles: int = 0,
+        hedged_tiles: int = 0,
+        stolen_keys: int = 0,
     ) -> ServerStats:
         """Aggregate everything recorded so far into one :class:`ServerStats`.
 
@@ -160,6 +178,10 @@ class Telemetry:
             tiles_rendered=self.tiles_rendered,
             ooo_completions=self.ooo_completions,
             dropped_tile_results=self.dropped_tile_results,
+            worker_respawns=worker_respawns,
+            redispatched_tiles=redispatched_tiles,
+            hedged_tiles=hedged_tiles,
+            stolen_keys=stolen_keys,
             num_rays=self.render_stats.num_rays,
             num_culled_samples=self.render_stats.num_culled_samples,
             num_skipped_rays=self.render_stats.num_skipped_rays,

@@ -39,6 +39,7 @@ __all__ = [
     "replay_open_loop",
     "replay_closed_loop",
     "http_open_loop",
+    "summarize_outcomes",
 ]
 
 #: Terminal job states (nothing left to wait for).
@@ -239,6 +240,25 @@ def replay_closed_loop(
             job_id for job_id in in_flight if server.poll(job_id).state not in _FINISHED
         ]
     return job_ids
+
+
+def summarize_outcomes(server: RenderServer, job_ids: Sequence[str]) -> dict:
+    """Terminal-state counts of a replayed workload, keyed by state value.
+
+    The chaos harness's one-line verdict: after a fault-injected replay,
+    ``summarize_outcomes(...)`` should read all ``done`` plus exactly the
+    failures the :class:`~repro.serve.backends.FaultPlan` promised.  Job ids
+    the server has already retired past its retention bound count under
+    ``"retired"``.
+    """
+    counts: dict = {}
+    for job_id in job_ids:
+        try:
+            state = server.poll(job_id).state.value
+        except KeyError:  # UnknownJobError: retired past max_finished_jobs
+            state = "retired"
+        counts[state] = counts.get(state, 0) + 1
+    return counts
 
 
 def http_open_loop(
