@@ -84,6 +84,18 @@ from repro.serve import (  # noqa: E402
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_serve.json"
 
 
+def json_safe(payload):
+    """Non-finite floats become ``None`` so the report is strictly valid JSON
+    (percentiles are NaN until their stage has observations)."""
+    if isinstance(payload, float) and not np.isfinite(payload):
+        return None
+    if isinstance(payload, dict):
+        return {key: json_safe(value) for key, value in payload.items()}
+    if isinstance(payload, (list, tuple)):
+        return [json_safe(value) for value in payload]
+    return payload
+
+
 def parse_args(argv=None) -> argparse.Namespace:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scenes", default="lego,ficus", help="comma-separated scene names")
@@ -570,12 +582,19 @@ def run(args: argparse.Namespace) -> int:
         "wall_s": closed_wall,
         "per_pipeline": group_results(completed_results(closed_server, closed_ids)),
         "server": closed_stats.as_dict(),
+        "stage_breakdown": closed_stats.stage_breakdown,
     }
     report["closed_loop"] = closed
     print(f"closed loop [{closed_stats.backend} x{closed_stats.num_workers}]: "
           f"{closed_stats.completed}/{len(closed_ids)} jobs in "
           f"{closed_wall:.2f}s  {closed_stats.throughput_rays_per_s:,.0f} rays/busy-s  "
           f"p50 {closed_stats.latency_p50_s:.3f}s  p95 {closed_stats.latency_p95_s:.3f}s")
+    stage_parts = []
+    for stage, summary in closed_stats.stage_breakdown.items():
+        if stage != "latency" and summary["count"]:
+            stage_parts.append(f"{stage} p95 {summary['p95_s'] * 1e3:.1f}ms")
+    if stage_parts:
+        print(f"  stages: {'  '.join(stage_parts)}")
 
     # Open loop: Poisson arrivals against the (now warm) store.
     open_server = RenderServer(
@@ -712,7 +731,9 @@ def run(args: argparse.Namespace) -> int:
         "failures": failures,
     }
 
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    args.output.write_text(
+        json.dumps(json_safe(report), indent=2, allow_nan=False) + "\n"
+    )
     print(f"# wrote {args.output}")
     for failure in failures:
         print(f"GUARD FAILED: {failure}", file=sys.stderr)

@@ -36,8 +36,15 @@ Six layers, one module each:
   :class:`~repro.hardware.workload.FrameWorkload`), deadlines, out-of-order
   completion reassembly and streaming partial-frame delivery.
 * :mod:`~repro.serve.telemetry` — :class:`ServerStats` snapshots (latency
-  percentiles, throughput, cache hit rates, per-worker utilization,
-  out-of-order completions, vertex reuse).
+  percentiles incl. p99, per-stage breakdowns, throughput, cache hit rates,
+  per-worker utilization) backed by :mod:`~repro.serve.metrics` bounded
+  streaming histograms, which also render the Prometheus text exposition of
+  ``GET /v1/metrics``.
+* :mod:`~repro.serve.tracing` — per-job traces of typed stage spans
+  (``queue``/``build``/``render-tile``/``reassemble``/``deliver``) and
+  elasticity point events, in a bounded ring; served as JSON
+  (``GET /v1/trace/{id}``) and Chrome trace-event/Perfetto JSON
+  (``GET /v1/traces/export``).
 * :mod:`~repro.serve.traffic` — synthetic open-loop (Poisson) and
   closed-loop workloads plus replay harnesses; ``benchmarks/perf_serve.py``
   builds on them and writes ``BENCH_serve.json``.
@@ -50,6 +57,7 @@ fairness, and :class:`~repro.serve.http.RenderClient` consumes it.
 
 from repro.serve.backends import (
     BACKEND_NAMES,
+    BackendEvent,
     ExecutionBackend,
     FaultPlan,
     ProcessPoolBackend,
@@ -58,6 +66,11 @@ from repro.serve.backends import (
     TileResult,
     TileTask,
     make_backend,
+)
+from repro.serve.metrics import (
+    PROMETHEUS_CONTENT_TYPE,
+    StreamingHistogram,
+    render_prometheus,
 )
 from repro.serve.server import (
     OVER_COST_POLICIES,
@@ -76,8 +89,16 @@ from repro.serve.store import (
     SceneStoreSpec,
     SceneStoreStats,
 )
-from repro.serve.telemetry import ServerStats, Telemetry, percentile
+from repro.serve.telemetry import STAGE_NAMES, ServerStats, Telemetry, percentile
 from repro.serve.tiles import Tile, assemble_tiles, plan_tiles
+from repro.serve.tracing import (
+    EVENT_NAMES,
+    SPAN_NAMES,
+    JobTrace,
+    Span,
+    TraceEvent,
+    TraceRecorder,
+)
 from repro.serve.traffic import (
     TrafficItem,
     closed_loop_workload,
@@ -108,6 +129,7 @@ __all__ = [
     "TileTask",
     "TileResult",
     "FaultPlan",
+    "BackendEvent",
     "BACKEND_NAMES",
     "make_backend",
     # server
@@ -123,6 +145,18 @@ __all__ = [
     "ServerStats",
     "Telemetry",
     "percentile",
+    "STAGE_NAMES",
+    # metrics
+    "StreamingHistogram",
+    "render_prometheus",
+    "PROMETHEUS_CONTENT_TYPE",
+    # tracing
+    "TraceRecorder",
+    "JobTrace",
+    "Span",
+    "TraceEvent",
+    "SPAN_NAMES",
+    "EVENT_NAMES",
     # traffic
     "TrafficItem",
     "poisson_workload",

@@ -69,7 +69,7 @@ import queue as queue_lib
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -82,6 +82,7 @@ __all__ = [
     "TileTask",
     "TileResult",
     "FaultPlan",
+    "BackendEvent",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadPoolBackend",
@@ -183,6 +184,24 @@ class FaultPlan:
 
 
 @dataclass(eq=False)
+class BackendEvent:
+    """One elasticity action, reported upward for tracing.
+
+    The counters (``worker_respawns`` & co.) answer *how often*; events
+    answer *when and to whom*.  ``job_id`` is set for job-scoped actions
+    (a re-dispatched or hedged tile) and ``None`` for pool-scoped ones (a
+    respawn, a stolen affinity key) — the server routes the former into the
+    job's trace and the latter onto the supervisor track.  Timestamps are
+    deliberately absent: the scheduler stamps events on *its* clock when it
+    drains them, keeping the whole trace on one timebase.
+    """
+
+    name: str
+    job_id: Optional[str] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(eq=False)
 class _Dispatch:
     """Routing state of one in-flight tile (pool backends only)."""
 
@@ -254,6 +273,9 @@ class ExecutionBackend:
         self.redispatched_tiles = 0
         self.hedged_tiles = 0
         self.stolen_keys = 0
+        #: Pending :class:`BackendEvent`\s, bounded so an undrained backend
+        #: (no tracer attached) cannot grow without limit.
+        self._events: Deque[BackendEvent] = deque(maxlen=4096)
 
     # -- lifecycle ------------------------------------------------------
     def start(self, store: SceneStore) -> None:
@@ -322,6 +344,15 @@ class ExecutionBackend:
         rebalances hot keys here — *between* collects, so a stalled worker is
         handled even while results from the others keep the queue full.
         """
+
+    def drain_events(self) -> List[BackendEvent]:
+        """Elasticity events since the last drain (oldest first)."""
+        events = list(self._events)
+        self._events.clear()
+        return events
+
+    def _emit(self, name: str, job_id: Optional[str] = None, **attrs) -> None:
+        self._events.append(BackendEvent(name=name, job_id=job_id, attrs=attrs))
 
     # -- subclass hooks -------------------------------------------------
     def _max_in_flight(self) -> int:
@@ -798,6 +829,7 @@ class ProcessPoolBackend(_PoolBackend):
         self._task_queues[worker_id] = task_queue
         self._processes[worker_id] = process
         self.worker_respawns += 1
+        self._emit("respawn", worker=worker_id)
         now = time.monotonic()
         for dispatch in self._outstanding.values():
             if dispatch.hedge_worker == worker_id:
@@ -814,6 +846,12 @@ class ProcessPoolBackend(_PoolBackend):
                     task_queue.put(dispatch.task)
                     dispatch.dispatched_at = now
                     self.redispatched_tiles += 1
+                    self._emit(
+                        "redispatched",
+                        job_id=dispatch.task.job_id,
+                        tile=dispatch.task.tile_index,
+                        worker=worker_id,
+                    )
         # Loads recomputed from the surviving routing table (results the dead
         # worker flushed before dying resolve their entries on arrival).
         loads = [0] * self.num_workers
@@ -857,6 +895,13 @@ class ProcessPoolBackend(_PoolBackend):
             self._task_queues[target].put(dispatch.task)
             self._hedges_in_flight += 1
             self.hedged_tiles += 1
+            self._emit(
+                "hedged",
+                job_id=dispatch.task.job_id,
+                tile=dispatch.task.tile_index,
+                worker=dispatch.worker,
+                hedge_worker=target,
+            )
 
     def _service_p95(self, key: Tuple[str, str]) -> Optional[float]:
         """The key's observed p95 service time (pool-wide until it has its
@@ -888,6 +933,7 @@ class ProcessPoolBackend(_PoolBackend):
         self._key_dispatches[key] = 0  # heat resets with the move
         self.stolen_keys += 1
         self._last_steal = now
+        self._emit("stolen", scene=key[0], pipeline=key[1], src=hot, dst=cold)
 
 
 #: Backend names :func:`make_backend` (and the benchmark CLI) accept.

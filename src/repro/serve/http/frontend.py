@@ -35,7 +35,15 @@ GET    ``/v1/jobs/{id}/result``       raw frame bytes + ``X-Frame-*`` metadata
 GET    ``/v1/jobs/{id}/stream``       server-sent events: ``tile`` then terminal
 DELETE ``/v1/jobs/{id}``              cancel (``CANCELLED`` if it was active)
 GET    ``/v1/stats``                  ``{"server": ServerStats, "edge": HttpEdgeStats}``
+GET    ``/v1/metrics``                Prometheus text exposition (server + edge)
+GET    ``/v1/trace/{id}``             one job's trace as JSON spans/events
+GET    ``/v1/traces/export``          Chrome trace-event JSON (open in Perfetto)
 ====== ============================== ==============================================
+
+Observability: submissions carry the edge's request-parse moment (on the
+server's own clock) into ``RenderServer.submit`` as the trace origin, so a
+job's trace covers edge queueing too; the first result fetch — or the SSE
+terminal ``done`` event — closes the job's ``deliver`` span.
 """
 
 from __future__ import annotations
@@ -53,6 +61,7 @@ import numpy as np
 
 from repro.api import available_pipelines
 from repro.serve.http.fairness import DeficitRoundRobin, RateLimiter
+from repro.serve.metrics import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.serve.http.telemetry import HttpEdgeTelemetry
 from repro.serve.http.wire import (
     HttpRequest,
@@ -453,6 +462,10 @@ class HttpRenderFrontEnd:
                     self._feed_push(
                         feed, _TERMINAL_EVENTS[view.state], self._view_payload(view), True
                     )
+            if view.state is JobState.DONE:
+                # Streaming delivered the frame: close the deliver span even
+                # though no one will call result() (idempotent, driver thread).
+                self.server.mark_delivered(job_id)
             feeds = [feed for feed in feeds if not feed.closed]
             if feeds:
                 self._feeds[job_id] = feeds
@@ -663,6 +676,24 @@ class HttpRenderFrontEnd:
             if segments == ("v1", "stats") and request.method == "GET":
                 payload = await self._call(self._stats_sync)
                 self._write_json(writer, started, 200, payload)
+            elif segments == ("v1", "metrics") and request.method == "GET":
+                text = await self._call(self._metrics_sync)
+                writer.write(
+                    response_bytes(
+                        200, text.encode("utf-8"), content_type=PROMETHEUS_CONTENT_TYPE
+                    )
+                )
+                self.telemetry.record_response(200, time.perf_counter() - started)
+            elif (
+                len(segments) == 3
+                and segments[:2] == ("v1", "trace")
+                and request.method == "GET"
+            ):
+                payload = await self._call(self._trace_sync, segments[2])
+                self._write_json(writer, started, 200, payload)
+            elif segments == ("v1", "traces", "export") and request.method == "GET":
+                payload = await self._call(self.server.tracer.export_chrome)
+                self._write_json(writer, started, 200, payload)
             elif len(segments) == 3 and segments[:2] == ("v1", "jobs"):
                 job_id = segments[2]
                 if request.method == "GET":
@@ -713,8 +744,12 @@ class HttpRenderFrontEnd:
         started: float,
     ) -> bool:
         stream = request.query.get("stream", "").lower() in ("1", "true", "sse")
+        # The trace's root opens here, at request parse, on the *server's*
+        # clock — the gap to submitted_at is the edge's queueing overhead.
+        trace_origin_s = self.server.now()
         try:
             params = self._parse_submission(request)
+            params["trace_origin_s"] = trace_origin_s
             admitted, retry_after = self._limiter.check(client)
             if not admitted:
                 self.telemetry.rate_limited_429 += 1
@@ -892,13 +927,29 @@ class HttpRenderFrontEnd:
             return view, None
         return view, self.server.result(job_id)
 
-    # -- stats ----------------------------------------------------------
+    # -- stats / observability ------------------------------------------
     def _stats_sync(self) -> Dict[str, object]:
         edge = self.telemetry.snapshot(
             per_client_queue_depth=self._drr.depths(),
             per_client_in_flight=dict(self._in_flight),
         )
         return {"server": self.server.stats().as_dict(), "edge": edge.as_dict()}
+
+    def _metrics_sync(self) -> str:
+        """The ``/v1/metrics`` page: server families + the edge's own."""
+        families = self.server.metrics_families()
+        families.extend(self.telemetry.metrics_families())
+        return render_prometheus(families)
+
+    def _trace_sync(self, job_id: str) -> Dict[str, object]:
+        trace = self.server.tracer.get(job_id)
+        if trace is None:
+            raise HttpError(
+                404, "unknown_trace",
+                f"no trace for job {job_id!r} (never traced, or evicted "
+                "from the trace ring)",
+            )
+        return trace.as_dict()
 
     # -- response helpers ----------------------------------------------
     @staticmethod

@@ -15,7 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from repro.serve.telemetry import percentile
+from repro.serve.metrics import (
+    StreamingHistogram,
+    prometheus_counter,
+    prometheus_gauge,
+    prometheus_histogram,
+)
 
 __all__ = ["HttpEdgeStats", "HttpEdgeTelemetry"]
 
@@ -73,9 +78,9 @@ class HttpEdgeTelemetry:
     sse_streams_total: int = 0
     active_sse_streams: int = 0
     sse_events_sent: int = 0
-    request_latencies_s: List[float] = field(default_factory=list)
-    #: Retention bound on the latency reservoir (drop-oldest beyond it).
-    max_latency_samples: int = 100_000
+    #: Bounded request-latency distribution (log buckets + exact-at-small-N
+    #: reservoir; replaces the earlier capped-at-100k list).
+    request_latency_hist: StreamingHistogram = field(default_factory=StreamingHistogram)
 
     # ------------------------------------------------------------------
     def record_response(self, status: int, latency_s: float) -> None:
@@ -86,9 +91,7 @@ class HttpEdgeTelemetry:
             self.bad_requests_400 += 1
         elif status == 404:
             self.not_found_404 += 1
-        self.request_latencies_s.append(latency_s)
-        if len(self.request_latencies_s) > self.max_latency_samples:
-            del self.request_latencies_s[: -self.max_latency_samples]
+        self.request_latency_hist.observe(latency_s)
 
     def snapshot(
         self,
@@ -113,8 +116,55 @@ class HttpEdgeTelemetry:
             sse_streams_total=self.sse_streams_total,
             active_sse_streams=self.active_sse_streams,
             sse_events_sent=self.sse_events_sent,
-            request_latency_p50_s=percentile(self.request_latencies_s, 50),
-            request_latency_p95_s=percentile(self.request_latencies_s, 95),
+            request_latency_p50_s=self.request_latency_hist.percentile(50),
+            request_latency_p95_s=self.request_latency_hist.percentile(95),
             per_client_queue_depth=dict(per_client_queue_depth),
             per_client_in_flight=dict(per_client_in_flight),
         )
+
+    def metrics_families(self) -> List[List[str]]:
+        """The edge's Prometheus families (appended to the server's page)."""
+        counters = [
+            ("connections", "TCP connections accepted.", self.connections_total),
+            ("requests", "HTTP requests answered.", self.requests_total),
+            ("rate_limited_429", "Submissions refused by the rate limiter.",
+             self.rate_limited_429),
+            ("queue_full_429", "Submissions refused by the fairness-queue bound.",
+             self.queue_full_429),
+            ("admission_429", "Submissions the server's admission control rejected.",
+             self.admission_429),
+            ("jobs_submitted", "Jobs the edge successfully submitted.",
+             self.jobs_submitted),
+            ("jobs_cancelled_by_disconnect", "Jobs cancelled after a stream disconnect.",
+             self.jobs_cancelled_by_disconnect),
+            ("sse_streams", "SSE streams opened.", self.sse_streams_total),
+            ("sse_events_sent", "SSE events written to sockets.", self.sse_events_sent),
+        ]
+        families = [
+            prometheus_counter(f"repro_edge_{name}_total", help_text, value)
+            for name, help_text, value in counters
+        ]
+        families.append([
+            "# HELP repro_edge_responses_total HTTP responses by status code.",
+            "# TYPE repro_edge_responses_total counter",
+            *(
+                f'repro_edge_responses_total{{status="{status}"}} {count}'
+                for status, count in sorted(self.responses_by_status.items())
+            ),
+        ])
+        families.append(prometheus_gauge(
+            "repro_edge_active_connections",
+            "Currently open TCP connections.",
+            [(None, self.active_connections)],
+        ))
+        families.append(prometheus_gauge(
+            "repro_edge_active_sse_streams",
+            "Currently open SSE streams.",
+            [(None, self.active_sse_streams)],
+        ))
+        families.append(prometheus_histogram(
+            "repro_edge_request_seconds",
+            "Parse-to-response-written handler latency (SSE excluded).",
+            self.request_latency_hist,
+        ))
+        return families

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Tuple
 from urllib.parse import parse_qsl, urlsplit
@@ -171,9 +172,29 @@ def response_bytes(
     return head + body
 
 
+def _json_safe(payload: object) -> object:
+    """Replace non-finite floats with ``None``, recursively.
+
+    ``json.dumps`` happily emits bare ``NaN``/``Infinity`` tokens, which are
+    not JSON — strict parsers (and most non-Python clients) reject the whole
+    document.  Percentiles are NaN before the first completion, so every
+    response body passes through here; ``allow_nan=False`` downstream then
+    *proves* nothing non-finite slipped past.
+    """
+    if isinstance(payload, float) and not math.isfinite(payload):
+        return None
+    if isinstance(payload, dict):
+        return {key: _json_safe(value) for key, value in payload.items()}
+    if isinstance(payload, (list, tuple)):
+        return [_json_safe(value) for value in payload]
+    return payload
+
+
 def json_body(payload: object) -> bytes:
-    """Compact JSON encoding used by every structured response."""
-    return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    """Compact, strictly valid JSON (non-finite floats become ``null``)."""
+    return json.dumps(
+        _json_safe(payload), separators=(",", ":"), sort_keys=True, allow_nan=False
+    ).encode("utf-8")
 
 
 def sse_header_bytes() -> bytes:
@@ -193,5 +214,7 @@ def sse_header_bytes() -> bytes:
 
 def sse_event_bytes(event: str, payload: object) -> bytes:
     """One ``event:``/``data:`` SSE frame carrying a JSON payload."""
-    data = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    data = json.dumps(
+        _json_safe(payload), separators=(",", ":"), sort_keys=True, allow_nan=False
+    )
     return f"event: {event}\ndata: {data}\n\n".encode("utf-8")

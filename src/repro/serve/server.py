@@ -47,9 +47,16 @@ from repro.hardware.workload import COST_METRICS, FrameWorkload, workload_from_s
 from repro.nerf.metrics import psnr as compute_psnr
 from repro.nerf.renderer import RenderStats
 from repro.serve.backends import ExecutionBackend, SerialBackend, TileResult, TileTask, make_backend
+from repro.serve.metrics import (
+    prometheus_counter,
+    prometheus_gauge,
+    prometheus_histogram,
+    render_prometheus,
+)
 from repro.serve.store import SceneStore
 from repro.serve.telemetry import ServerStats, Telemetry
 from repro.serve.tiles import Tile, assemble_tiles, plan_tiles
+from repro.serve.tracing import TraceRecorder
 
 __all__ = [
     "Priority",
@@ -129,6 +136,8 @@ class _Job:
     frame_shape: Optional[Tuple[int, int]] = None
     tiles_dispatched: int = 0
     tiles_completed: int = 0
+    #: When the finished frame was first fetched (closes the deliver span).
+    delivered_at: Optional[float] = None
     #: Completed tile images keyed by tile index — a dict, not a list,
     #: because pool backends complete tiles out of order.
     tile_images: Dict[int, np.ndarray] = field(default_factory=dict)
@@ -238,6 +247,11 @@ class RenderServer:
     clock:
         Monotonic time source (injectable for deterministic deadline tests).
         Worker utilization always uses real wall time.
+    trace_capacity:
+        Finished job traces retained by the server's
+        :class:`~repro.serve.tracing.TraceRecorder` ring (``0`` disables
+        tracing entirely).  The tracer shares the server's clock, so span
+        timestamps and the job bookkeeping agree exactly.
     """
 
     def __init__(
@@ -251,6 +265,7 @@ class RenderServer:
         default_tile_size: Optional[int] = None,
         max_finished_jobs: Optional[int] = 1024,
         clock: Callable[[], float] = time.perf_counter,
+        trace_capacity: int = 256,
     ) -> None:
         if max_pending is not None and max_pending < 1:
             raise ValueError(f"max_pending must be at least 1, got {max_pending}")
@@ -296,6 +311,7 @@ class RenderServer:
         #: Real wall clock of the first dispatch (utilization denominator).
         self._wall_start: Optional[float] = None
         self.telemetry = Telemetry()
+        self.tracer = TraceRecorder(capacity=trace_capacity, clock=clock)
         self._seq = 0
 
     # ------------------------------------------------------------------
@@ -343,12 +359,19 @@ class RenderServer:
         tile_size: Optional[int] = None,
         transmittance_threshold: Optional[float] = None,
         compare_to_reference: bool = False,
+        trace_origin_s: Optional[float] = None,
     ) -> str:
         """Enqueue one frame job and return its id (admission may reject it).
 
         A rejected job is still registered — :meth:`poll` reports it as
         ``REJECTED`` — so callers observe backpressure instead of an
         exception mid-burst.
+
+        ``trace_origin_s`` back-dates the job's trace to a moment *before*
+        submission on the server's own clock (read it via :meth:`now`) — the
+        HTTP edge passes its request-parse time here, so the trace's root
+        covers edge overhead too.  It never affects scheduling or the
+        latency accounting, which stay anchored at ``submitted_at``.
         """
         if tile_size is not None and tile_size < 1:
             raise ValueError(f"tile_size must be at least 1, got {tile_size}")
@@ -388,17 +411,30 @@ class RenderServer:
         )
         self._jobs[job.job_id] = job
         self.telemetry.submitted += 1
+        self.tracer.start(
+            job.job_id,
+            origin_s=trace_origin_s if trace_origin_s is not None else job.submitted_at,
+            scene=scene,
+            pipeline=pipeline,
+            camera_index=camera_index,
+            priority=job.priority.name,
+        )
         if admitted:
             self._active.add(job.job_id)
             self._queues[job.priority].append(job.job_id)
             if cost is not None:
                 self._pending_cost += cost
+            self.tracer.begin_span(job.job_id, "queue", start_s=job.submitted_at)
         else:
             job.state = JobState.REJECTED
             job.finished_at = job.submitted_at
             self.telemetry.rejected += 1
             if over_cost:
                 self.telemetry.rejected_over_cost += 1
+            self.tracer.add_event(
+                job.job_id, "rejected", ts_s=job.submitted_at, over_cost=over_cost
+            )
+            self.tracer.finish(job.job_id, JobState.REJECTED.value, finished_s=job.finished_at)
             self._retire(job)
         return job.job_id
 
@@ -443,14 +479,45 @@ class RenderServer:
             completed_tiles=completed,
         )
 
+    def now(self) -> float:
+        """The server's monotonic clock (the timebase of traces and jobs).
+
+        Thread-safe: front ends on other threads read it to timestamp a
+        request-parse moment they later pass to :meth:`submit` as
+        ``trace_origin_s``.
+        """
+        return self._clock()
+
     def result(self, job_id: str) -> ServeResult:
-        """The finished frame of a ``DONE`` job (raises for any other state)."""
+        """The finished frame of a ``DONE`` job (raises for any other state).
+
+        The first fetch closes the job's ``deliver`` span — the gap between
+        completion and the caller actually taking the frame.
+        """
         job = self._job(job_id)
         if job.state is not JobState.DONE:
             detail = f": {job.error}" if job.error else ""
             raise RuntimeError(f"job {job_id} is {job.state.value}, not done{detail}")
         assert job.result is not None
+        self.mark_delivered(job_id)
         return job.result
+
+    def mark_delivered(self, job_id: str) -> None:
+        """Record the first delivery of a ``DONE`` job's frame (idempotent).
+
+        Closes the ``deliver`` span and feeds the delivery-lag histogram;
+        called implicitly by :meth:`result`, and explicitly by streaming
+        front ends that push the terminal frame without a fetch.  No-op for
+        unknown ids and non-``DONE`` states, so front ends can call it
+        unconditionally.
+        """
+        job = self._jobs.get(job_id)
+        if job is None or job.state is not JobState.DONE or job.delivered_at is not None:
+            return
+        job.delivered_at = self._clock()
+        self.tracer.end_span(job_id, "deliver", end_s=job.delivered_at)
+        if job.finished_at is not None:
+            self.telemetry.record_delivery(job.delivered_at - job.finished_at)
 
     def cancel(self, job_id: str) -> bool:
         """Cancel an active job; returns whether it transitioned to ``CANCELLED``.
@@ -470,6 +537,8 @@ class RenderServer:
         job.finished_at = self._clock()
         job.tile_images = {}  # partial shards are dead weight now
         self.telemetry.cancelled += 1
+        self.tracer.add_event(job.job_id, "cancelled", ts_s=job.finished_at)
+        self.tracer.finish(job.job_id, JobState.CANCELLED.value, finished_s=job.finished_at)
         self._retire(job)
         return True
 
@@ -501,6 +570,93 @@ class RenderServer:
             stolen_keys=self.backend.stolen_keys,
         )
 
+    def metrics_families(self) -> List[List[str]]:
+        """The server's Prometheus families (the edge appends its own)."""
+        stats = self.stats()
+        counters = [
+            ("jobs_submitted", "Jobs submitted over the server's lifetime.", stats.submitted),
+            ("jobs_completed", "Jobs that finished with a frame.", stats.completed),
+            ("jobs_rejected", "Jobs refused by admission control.", stats.rejected),
+            ("jobs_expired", "Jobs whose deadline elapsed before completion.", stats.expired),
+            ("jobs_failed", "Jobs that errored while rendering or finalizing.", stats.failed),
+            ("jobs_cancelled", "Jobs cancelled by their caller.", stats.cancelled),
+            ("tiles_rendered", "Tile renders applied (duplicates excluded).", stats.tiles_rendered),
+            ("tile_results_dropped", "Tile completions dropped (late, duplicate).",
+             stats.dropped_tile_results),
+            ("worker_respawns", "Dead pool workers replaced by the supervisor.",
+             stats.worker_respawns),
+            ("tiles_redispatched", "In-flight tiles re-sent after a worker died.",
+             stats.redispatched_tiles),
+            ("tiles_hedged", "Speculative duplicate dispatches of slow tiles.",
+             stats.hedged_tiles),
+            ("keys_stolen", "Affinity keys migrated off a saturated worker.",
+             stats.stolen_keys),
+            ("store_hits", "Bundle requests served from residency.", stats.store_hits),
+            ("store_misses", "Bundle requests that forced a build.", stats.store_misses),
+            ("store_evictions", "Bundles evicted by the store's LRU budget.",
+             stats.store_evictions),
+            ("rays_rendered", "Rays rendered across all tiles.", stats.num_rays),
+        ]
+        families = [
+            prometheus_counter(f"repro_serve_{name}_total", help_text, value)
+            for name, help_text, value in counters
+        ]
+        families.append(prometheus_gauge(
+            "repro_serve_queue_depth",
+            "Jobs currently queued or mid-render.",
+            [(None, stats.queue_depth)],
+        ))
+        families.append(prometheus_gauge(
+            "repro_serve_pending_cost",
+            "Summed admission-cost estimate of unfinished jobs.",
+            [(None, stats.pending_cost)],
+        ))
+        families.append(prometheus_gauge(
+            "repro_serve_resident_bundles",
+            "Scene bundles currently resident in the store.",
+            [(None, stats.resident_bundles)],
+        ))
+        families.append(prometheus_gauge(
+            "repro_serve_resident_bytes",
+            "Estimated bytes of resident scene bundles.",
+            [(None, stats.resident_bytes)],
+        ))
+        families.append(prometheus_gauge(
+            "repro_serve_worker_utilization",
+            "Per-worker busy fraction since the first dispatch.",
+            [({"worker": str(worker)}, value)
+             for worker, value in enumerate(stats.worker_utilization)],
+        ))
+        families.append(prometheus_gauge(
+            "repro_serve_throughput_rays_per_s",
+            "Busy-time-normalized ray throughput (per-worker efficiency).",
+            [(None, stats.throughput_rays_per_s)],
+        ))
+        families.append(prometheus_gauge(
+            "repro_serve_throughput_rays_per_s_wall",
+            "Wall-clock-normalized ray throughput (serving capacity).",
+            [(None, stats.throughput_rays_per_s_wall)],
+        ))
+        stage_help = {
+            "queue_wait": "Submission-to-first-dispatch wait per job.",
+            "build": "Bundle build time per cold tile batch.",
+            "render": "Per-tile render service time.",
+            "reassemble": "Tile recomposition + reference compare per job.",
+            "deliver": "Completion-to-first-fetch lag per delivered job.",
+            "latency": "Submission-to-completion latency per job.",
+        }
+        for stage, histogram in self.telemetry.stages.items():
+            families.append(prometheus_histogram(
+                f"repro_serve_{stage}_seconds",
+                stage_help.get(stage, f"{stage} stage duration."),
+                histogram,
+            ))
+        return families
+
+    def metrics_text(self) -> str:
+        """The full ``GET /v1/metrics`` page (Prometheus text exposition)."""
+        return render_prometheus(self.metrics_families())
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -523,12 +679,14 @@ class RenderServer:
         """
         self._expire_overdue()
         self.backend.maintain()
+        self._drain_backend_events()
         self._apply(self.backend.collect())
         dispatched = self._dispatch()
         if dispatched == 0 and self.backend.in_flight > 0:
             self._apply(self.backend.collect(block=True))
         else:
             self._apply(self.backend.collect())
+        self._drain_backend_events()
         return self.has_pending()
 
     def run_until_idle(self, max_steps: Optional[int] = None) -> int:
@@ -558,6 +716,18 @@ class RenderServer:
             while len(self._finished) > self.max_finished_jobs:
                 self._jobs.pop(self._finished.popleft(), None)
 
+    def _drain_backend_events(self) -> None:
+        """Route the backend's elasticity events into traces.
+
+        Stamped with the scheduler's clock at drain time — the one timebase
+        rule again; the drain runs every step, so the skew is at most one
+        scheduling interval.
+        """
+        if not self.tracer.enabled:
+            return
+        for event in self.backend.drain_events():
+            self.tracer.add_event(event.job_id, event.name, **event.attrs)
+
     def _expire_overdue(self) -> None:
         now = self._clock()
         for job_id in list(self._active):
@@ -567,6 +737,10 @@ class RenderServer:
                 job.finished_at = now
                 job.tile_images = {}  # partial shards are dead weight now
                 self.telemetry.expired += 1
+                self.tracer.add_event(
+                    job_id, "expired", ts_s=now, deadline_s=job.deadline_s
+                )
+                self.tracer.finish(job_id, JobState.EXPIRED.value, finished_s=now)
                 self._retire(job)
 
     def _next_job(self) -> Optional[_Job]:
@@ -644,6 +818,7 @@ class RenderServer:
         job.tiles = plan_tiles(camera.num_pixels, tile_size, camera_index=job.camera_index)
         job.frame_shape = (camera.height, camera.width)
         job.started_at = self._clock()
+        self.tracer.end_span(job.job_id, "queue", end_s=job.started_at)
         if self._wall_start is None:
             self._wall_start = time.perf_counter()
 
@@ -676,6 +851,7 @@ class RenderServer:
             job.max_applied_tile = max(job.max_applied_tile, result.tile_index)
             job.tile_images[result.tile_index] = result.image
             job.tiles_completed += 1
+            self._trace_tile(job.job_id, result)
             job.stats.merge(result.stats)
             job.service_s += result.service_s + result.build_s
             if job.bundle_cached is None:
@@ -689,8 +865,40 @@ class RenderServer:
                     # must not abort the scheduling loop mid-collection.
                     self._fail(job, f"{type(exc).__name__}: {exc}")
 
+    def _trace_tile(self, job_id: str, result: TileResult) -> None:
+        """Anchor one tile's worker-reported durations as scheduler-clock spans.
+
+        Workers report ``build_s``/``service_s`` *durations* (never their own
+        timestamps); the spans are laid out backwards from the moment this
+        scheduler applied the result — build, then render, ending now.  The
+        small right-shift (result-queue residency) is the price of keeping
+        every span on one monotonic clock across the process boundary.
+        """
+        if not self.tracer.enabled:
+            return
+        applied_at = self._clock()
+        render_start = applied_at - max(result.service_s, 0.0)
+        if result.build_s > 0.0:
+            self.tracer.add_span(
+                job_id,
+                "build",
+                start_s=render_start - result.build_s,
+                end_s=render_start,
+                worker=result.worker_id,
+                tile=result.tile_index,
+            )
+        self.tracer.add_span(
+            job_id,
+            "render-tile",
+            start_s=render_start,
+            end_s=applied_at,
+            worker=result.worker_id,
+            tile=result.tile_index,
+        )
+
     def _finalize(self, job: _Job) -> None:
         assert job.frame_shape is not None
+        reassemble_start = self._clock()
         images = [job.tile_images[index] for index in range(len(job.tiles))]
         image = assemble_tiles(job.tiles, images, job.frame_shape)
         quality = None
@@ -718,7 +926,17 @@ class RenderServer:
             memory_bytes=job.memory_bytes,
         )
         job.tile_images = {}  # the assembled frame supersedes the shards
-        self.telemetry.record_completion(latency, queue_wait)
+        self.telemetry.record_completion(
+            latency, queue_wait, reassemble_s=job.finished_at - reassemble_start
+        )
+        self.tracer.add_span(
+            job.job_id, "reassemble", start_s=reassemble_start, end_s=job.finished_at,
+            num_tiles=len(job.tiles),
+        )
+        # The deliver span opens at completion and stays open until the first
+        # result fetch (mark_delivered) — finish() leaves it alone.
+        self.tracer.begin_span(job.job_id, "deliver", start_s=job.finished_at)
+        self.tracer.finish(job.job_id, JobState.DONE.value, finished_s=job.finished_at)
         self._retire(job)
 
     def _fail(self, job: _Job, error: str) -> None:
@@ -727,4 +945,6 @@ class RenderServer:
         job.error = error
         job.tile_images = {}
         self.telemetry.failed += 1
+        self.tracer.add_event(job.job_id, "failed", ts_s=job.finished_at, error=error)
+        self.tracer.finish(job.job_id, JobState.FAILED.value, finished_s=job.finished_at)
         self._retire(job)

@@ -9,8 +9,18 @@ into ``BENCH_serve.json`` and operators would scrape in production.
 Latency is split the way queueing systems are debugged: ``queue_wait`` (from
 submission to the job's first tile being dispatched to the execution
 backend; any bundle build a worker then pays is service time) and
-``latency`` (submission to completion).  Percentiles use the standard linear
-interpolation of :func:`numpy.percentile`.
+``latency`` (submission to completion).  Beyond those two, every pipeline
+*stage* keeps its own distribution — ``build`` (bundle construction),
+``render`` (per-tile service), ``reassemble`` (tile recomposition + PSNR)
+and ``deliver`` (completion to first result fetch) — so a slow p99 can be
+attributed to a stage instead of guessed at.
+
+All distributions are :class:`~repro.serve.metrics.StreamingHistogram`\\ s:
+fixed log-spaced buckets plus a small reservoir, so memory stays **bounded
+under sustained traffic** (the earlier revisions' unbounded per-job lists
+grew forever) while percentiles over test-sized sample counts remain exact
+(the reservoir holds every sample until it fills, and ``numpy.percentile``
+over it is the very estimator the old lists used).
 """
 
 from __future__ import annotations
@@ -21,9 +31,13 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.nerf.renderer import RenderStats
+from repro.serve.metrics import StreamingHistogram
 from repro.serve.store import SceneStoreStats
 
-__all__ = ["ServerStats", "Telemetry", "percentile"]
+__all__ = ["ServerStats", "Telemetry", "percentile", "STAGE_NAMES"]
+
+#: The per-stage distributions ``Telemetry`` maintains, in pipeline order.
+STAGE_NAMES = ("queue_wait", "build", "render", "reassemble", "deliver", "latency")
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -48,6 +62,18 @@ class ServerStats:
     tile of the same job — always 0 under the serial backend, and the
     direct measure of how much reordering the streaming delivery absorbs.
 
+    Two throughput figures, deliberately distinct:
+
+    * ``throughput_rays_per_s`` is **busy-time-normalized** — rays divided
+      by the summed seconds workers actually spent rendering and building.
+      It measures per-worker rendering efficiency, is independent of load
+      and parallelism, and *cannot exceed one worker's speed* (a 4-worker
+      pool at full tilt reports the same value as one busy worker).
+    * ``throughput_rays_per_s_wall`` is **wall-clock-normalized** — rays
+      divided by elapsed wall time since the first dispatch.  This is the
+      serving capacity an operator provisions against: it scales with
+      worker count and drops when the server idles between requests.
+
     The four elasticity counters come from the execution backend's
     supervisor and stay 0 everywhere but the process pool:
     ``worker_respawns`` (dead worker processes replaced from the store
@@ -57,6 +83,12 @@ class ServerStats:
     migrated off a hot shard).  Duplicate completions those mechanisms
     produce are dropped by the scheduler and counted in
     ``dropped_tile_results``.
+
+    ``stage_breakdown`` maps each pipeline stage (``queue_wait``, ``build``,
+    ``render``, ``reassemble``, ``deliver``, ``latency``) to its bounded-
+    histogram digest (count / total / mean / p50 / p95 / p99 seconds) — the
+    per-stage answer to "where do slow jobs spend their time" without
+    pulling a full trace.
     """
 
     submitted: int = 0
@@ -81,10 +113,14 @@ class ServerStats:
     num_skipped_rays: int = 0
     busy_s: float = 0.0
     throughput_rays_per_s: float = 0.0
+    throughput_rays_per_s_wall: float = 0.0
     latency_p50_s: float = float("nan")
     latency_p95_s: float = float("nan")
+    latency_p99_s: float = float("nan")
     queue_wait_p50_s: float = float("nan")
     queue_wait_p95_s: float = float("nan")
+    queue_wait_p99_s: float = float("nan")
+    stage_breakdown: Dict[str, Dict[str, float]] = field(default_factory=dict)
     vertex_reuse_ratio: float = 1.0
     backend: str = "serial"
     num_workers: int = 1
@@ -101,9 +137,17 @@ class ServerStats:
         return {name: getattr(self, name) for name in self.__dataclass_fields__}
 
 
+def _stage_histograms() -> Dict[str, StreamingHistogram]:
+    return {stage: StreamingHistogram() for stage in STAGE_NAMES}
+
+
 @dataclass
 class Telemetry:
-    """Accumulates per-tile and per-job observations for :class:`ServerStats`."""
+    """Accumulates per-tile and per-job observations for :class:`ServerStats`.
+
+    Distributions live in the bounded ``stages`` histograms (see the module
+    docstring); everything else is a plain lifetime counter.
+    """
 
     submitted: int = 0
     completed: int = 0
@@ -118,8 +162,7 @@ class Telemetry:
     dropped_tile_results: int = 0
     busy_s: float = 0.0
     render_stats: RenderStats = field(default_factory=RenderStats)
-    latencies_s: List[float] = field(default_factory=list)
-    queue_waits_s: List[float] = field(default_factory=list)
+    stages: Dict[str, StreamingHistogram] = field(default_factory=_stage_histograms)
     worker_busy_s: Dict[int, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -128,17 +171,27 @@ class Telemetry:
         self.tiles_rendered += 1
         self.busy_s += service_s
         self.render_stats.merge(stats)
+        self.stages["render"].observe(service_s)
         self.worker_busy_s[worker_id] = self.worker_busy_s.get(worker_id, 0.0) + service_s
 
     def record_build(self, build_s: float, worker_id: int = 0) -> None:
         """Bundle construction is service time too (it blocks its worker)."""
         self.busy_s += build_s
+        self.stages["build"].observe(build_s)
         self.worker_busy_s[worker_id] = self.worker_busy_s.get(worker_id, 0.0) + build_s
 
-    def record_completion(self, latency_s: float, queue_wait_s: float) -> None:
+    def record_completion(
+        self, latency_s: float, queue_wait_s: float, reassemble_s: float = 0.0
+    ) -> None:
         self.completed += 1
-        self.latencies_s.append(latency_s)
-        self.queue_waits_s.append(queue_wait_s)
+        self.stages["latency"].observe(latency_s)
+        self.stages["queue_wait"].observe(queue_wait_s)
+        if reassemble_s > 0.0:
+            self.stages["reassemble"].observe(reassemble_s)
+
+    def record_delivery(self, deliver_s: float) -> None:
+        """Completion-to-first-fetch time of one delivered result."""
+        self.stages["deliver"].observe(deliver_s)
 
     # ------------------------------------------------------------------
     def snapshot(
@@ -156,14 +209,16 @@ class Telemetry:
     ) -> ServerStats:
         """Aggregate everything recorded so far into one :class:`ServerStats`.
 
-        ``wall_s`` is the elapsed wall time the per-worker utilizations are
-        normalized by; ``None`` (or a zero wall) reports zero utilization
-        rather than dividing by nothing.
+        ``wall_s`` is the elapsed wall time the per-worker utilizations and
+        ``throughput_rays_per_s_wall`` are normalized by; ``None`` (or a
+        zero wall) reports zero utilization rather than dividing by nothing.
         """
         utilization = [
             (self.worker_busy_s.get(worker, 0.0) / wall_s) if wall_s else 0.0
             for worker in range(num_workers)
         ]
+        latency = self.stages["latency"]
+        queue_wait = self.stages["queue_wait"]
         stats = ServerStats(
             submitted=self.submitted,
             completed=self.completed,
@@ -189,10 +244,18 @@ class Telemetry:
             throughput_rays_per_s=(
                 self.render_stats.num_rays / self.busy_s if self.busy_s > 0 else 0.0
             ),
-            latency_p50_s=percentile(self.latencies_s, 50),
-            latency_p95_s=percentile(self.latencies_s, 95),
-            queue_wait_p50_s=percentile(self.queue_waits_s, 50),
-            queue_wait_p95_s=percentile(self.queue_waits_s, 95),
+            throughput_rays_per_s_wall=(
+                self.render_stats.num_rays / wall_s if wall_s else 0.0
+            ),
+            latency_p50_s=latency.percentile(50),
+            latency_p95_s=latency.percentile(95),
+            latency_p99_s=latency.percentile(99),
+            queue_wait_p50_s=queue_wait.percentile(50),
+            queue_wait_p95_s=queue_wait.percentile(95),
+            queue_wait_p99_s=queue_wait.percentile(99),
+            stage_breakdown={
+                stage: histogram.summary() for stage, histogram in self.stages.items()
+            },
             vertex_reuse_ratio=self.render_stats.vertex_reuse_ratio,
             backend=backend,
             num_workers=num_workers,
