@@ -63,6 +63,10 @@ REQUIRED_FAMILIES = (
     "repro_serve_queue_depth",
     "repro_serve_latency_seconds",
     "repro_serve_render_seconds",
+    "repro_serve_cache_hits_total",
+    "repro_serve_tiles_deduped_total",
+    "repro_serve_cache_bytes",
+    "repro_serve_cache_hit_seconds",
     "repro_edge_requests_total",
     "repro_edge_request_seconds",
 )

@@ -29,6 +29,15 @@ aggregate HTTP throughput and the edge's own telemetry — and guarding that a
 frame fetched through ``GET /v1/jobs/{id}/result`` is bit-identical to the
 direct engine render.
 
+With ``--cache`` the run adds a tile-cache section: a content-addressed
+:class:`~repro.serve.TileCache` is armed and one full camera orbit of the
+hottest scene is replayed **cold** (empty cache — every tile renders) and
+then **warm** (every tile's fingerprint is resident — the backend is never
+touched).  The section records the warm hit rate, the cold-vs-warm wall and
+latency deltas, and two hard guards: every warm frame must be bit-identical
+to a direct engine render (cached tiles are exact or they are a bug), and
+the warm replay must beat cold by ``--min-cache-speedup``.
+
 With ``--chaos`` the run adds a fault-injection section: the same closed-loop
 workload replayed on a process pool whose :class:`~repro.serve.FaultPlan`
 kills one worker mid-job and poisons one bundle build, with hedging and work
@@ -45,6 +54,7 @@ Usage::
     python benchmarks/perf_serve.py --quick --min-pool-speedup 1.5
     python benchmarks/perf_serve.py --quick --http   # + HTTP edge section
     python benchmarks/perf_serve.py --quick --chaos  # + fault-injection section
+    python benchmarks/perf_serve.py --quick --cache  # + cold-vs-warm tile cache
 """
 
 from __future__ import annotations
@@ -66,6 +76,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.api import PipelineConfig, SpNeRFConfig  # noqa: E402  (path bootstrap above)
 from repro.serve import (  # noqa: E402
     BACKEND_NAMES,
+    DEFAULT_CACHE_BUDGET_BYTES,
     FaultPlan,
     JobState,
     ProcessPoolBackend,
@@ -74,6 +85,7 @@ from repro.serve import (  # noqa: E402
     ServeResult,
     closed_loop_workload,
     make_backend,
+    orbit_workload,
     percentile,
     poisson_workload,
     replay_closed_loop,
@@ -134,6 +146,33 @@ def parse_args(argv=None) -> argparse.Namespace:
         "--chaos",
         action="store_true",
         help="add a fault-injection section (worker kill + poisoned build on a process pool)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="add a tile-cache section (cold-vs-warm orbit replay on a cache-armed server)",
+    )
+    parser.add_argument(
+        "--cache-budget",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="tile-cache byte budget for the --cache section (MB, default: cache's own)",
+    )
+    parser.add_argument(
+        "--min-cache-hit-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="fail when the warm replay's tile-cache hit rate falls below RATE",
+    )
+    parser.add_argument(
+        "--min-cache-speedup",
+        type=float,
+        default=1.2,
+        metavar="X",
+        help="fail when the warm orbit replay is not X times faster than cold "
+        "(default: %(default)s; the warm pass renders nothing, so this is lax)",
     )
     parser.add_argument(
         "--skip-backend-comparison",
@@ -210,7 +249,7 @@ def resolve_config(args: argparse.Namespace) -> dict:
     return config
 
 
-def make_store(config: dict, args: argparse.Namespace) -> SceneStore:
+def make_store(config: dict, args: argparse.Namespace, num_views: int = 1) -> SceneStore:
     budget = (
         int(args.memory_budget_mb * 1e6) if args.memory_budget_mb is not None else None
     )
@@ -224,7 +263,7 @@ def make_store(config: dict, args: argparse.Namespace) -> SceneStore:
         scene_kwargs={
             "resolution": config["resolution"],
             "image_size": config["image_size"],
-            "num_views": 1,
+            "num_views": num_views,
             "num_samples": config["num_samples"],
         },
     )
@@ -517,6 +556,137 @@ def chaos_guard_failures(section: dict) -> List[str]:
     return failures
 
 
+def run_cache_section(config: dict, args: argparse.Namespace) -> dict:
+    """Replay one camera orbit cold and then warm on a cache-armed server.
+
+    A rig of distinct cameras is swept once with an empty tile cache (every
+    tile renders, every lookup misses) and then swept again with every tile's
+    fingerprint resident (the backend is never touched).  The delta between
+    the two passes is exactly what the cache buys on temporally coherent
+    traffic.  Every frame of *both* passes is compared bitwise against the
+    direct engine render: a cached tile is a contiguous span of the same
+    deterministic ray stream, so any deviation is a bug, not a quality
+    trade-off.
+
+    Runs on its own store with one rig camera per orbit frame, so the cold
+    pass is all compulsory misses and the warm hit rate is a pure measure of
+    the keying scheme (no accidental intra-pass reuse).
+    """
+    scenes, pipelines = config["scenes"], config["pipelines"]
+    scene, pipeline = scenes[0], pipelines[-1]
+    num_cameras = 4 if config["quick"] else 6
+    tile_size = config["tile_size"] or 193
+    budget = (
+        int(args.cache_budget * 1e6)
+        if args.cache_budget is not None
+        else DEFAULT_CACHE_BUDGET_BYTES
+    )
+    store = make_store(config, args, num_views=num_cameras)
+    # Direct renders per camera, chunked at the tile size (the partition on
+    # which renders are bitwise reproducible) — and the bundle is now warm,
+    # so neither timed pass pays the build.
+    engine = store.get(scene, pipeline).engine
+    direct = {
+        camera: engine.render(camera_indices=(camera,), chunk_size=tile_size).image
+        for camera in range(num_cameras)
+    }
+    items = orbit_workload(
+        scene, pipeline, num_cameras=num_cameras, num_frames=num_cameras,
+        frame_interval_s=0.0,
+    )
+
+    def replay_pass(server: RenderServer) -> dict:
+        before = server.cache.stats()
+        start = time.perf_counter()
+        job_ids = replay_closed_loop(server, items, config["concurrency"])
+        wall = time.perf_counter() - start
+        after = server.cache.stats()
+        latencies = [r.latency_s for r in completed_results(server, job_ids)]
+        hits = after.hits - before.hits
+        lookups = (after.hits + after.misses) - (before.hits + before.misses)
+        identical = all(
+            server.poll(job_id).state is JobState.DONE
+            and np.array_equal(server.result(job_id).image, direct[item.camera_index])
+            for job_id, item in zip(job_ids, items)
+        )
+        return {
+            "wall_s": wall,
+            "completed": len(latencies),
+            "requests": len(job_ids),
+            "latency_p50_s": percentile(latencies, 50),
+            "latency_p95_s": percentile(latencies, 95),
+            "cache_hits": hits,
+            "cache_lookups": lookups,
+            "hit_rate": hits / lookups if lookups else 0.0,
+            "bit_identical": bool(identical),
+        }
+
+    with RenderServer(
+        store,
+        backend=make_backend(config["backend"], args.workers, queue_depth=args.queue_depth),
+        default_tile_size=tile_size,
+        cache="lru",
+        cache_budget_bytes=budget,
+    ) as server:
+        cold = replay_pass(server)
+        warm = replay_pass(server)
+        cache_stats = server.cache.stats()
+        stats = server.stats()
+    section = {
+        "scene": f"{scene}/{pipeline}",
+        "backend": config["backend"],
+        "num_cameras": num_cameras,
+        "frames_per_pass": len(items),
+        "tile_size": tile_size,
+        "budget_bytes": budget,
+        "cold": cold,
+        "warm": warm,
+        "warm_speedup": cold["wall_s"] / warm["wall_s"] if warm["wall_s"] > 0 else 0.0,
+        "deduped_tiles": stats.deduped_tiles,
+        "cache": {
+            "hits": cache_stats.hits,
+            "misses": cache_stats.misses,
+            "hit_rate": cache_stats.hit_rate,
+            "insertions": cache_stats.insertions,
+            "evictions": cache_stats.evictions,
+            "entries": cache_stats.entries,
+            "resident_bytes": cache_stats.resident_bytes,
+        },
+        "cache_hit_stage": stats.stage_breakdown.get("cache_hit"),
+    }
+    return section
+
+
+def cache_guard_failures(section: dict, args: argparse.Namespace) -> List[str]:
+    """The cache section's promises, as guard failures when broken."""
+    failures = []
+    for label in ("cold", "warm"):
+        leg = section[label]
+        if not leg["bit_identical"]:
+            failures.append(
+                f"cache: a {label}-pass frame differs from the direct engine render"
+            )
+        if leg["completed"] < leg["requests"]:
+            failures.append(
+                f"cache: {label} pass completed {leg['completed']}/{leg['requests']} jobs"
+            )
+    if args.min_cache_hit_rate is not None:
+        hit_rate = section["warm"]["hit_rate"]
+        if hit_rate < args.min_cache_hit_rate:
+            failures.append(
+                f"cache: warm hit rate {hit_rate:.2f} below required "
+                f"{args.min_cache_hit_rate:.2f}"
+            )
+    if args.min_cache_speedup is not None:
+        speedup = section["warm_speedup"]
+        if speedup < args.min_cache_speedup:
+            failures.append(
+                f"cache: warm replay speedup {speedup:.2f}x below required "
+                f"{args.min_cache_speedup:.2f}x"
+            )
+    return failures
+
+
 def group_results(results: List[ServeResult]) -> Dict[str, dict]:
     """Per-``scene/pipeline`` throughput and latency percentiles."""
     groups: Dict[str, List[ServeResult]] = {}
@@ -665,6 +835,21 @@ def run(args: argparse.Namespace) -> int:
               f"stolen {chaos_section['stolen_keys']}  "
               f"bit-identical {chaos_section['bit_identical_under_fault']}")
 
+    # Cache: one orbit replayed cold then warm on a cache-armed server —
+    # the warm pass should serve every tile without touching the backend.
+    cache_section = None
+    if args.cache:
+        cache_section = run_cache_section(config, args)
+        report["cache"] = cache_section
+        print(f"cache [{cache_section['backend']}, "
+              f"{cache_section['num_cameras']}-camera orbit x2, "
+              f"budget {cache_section['budget_bytes'] / 1e6:.0f} MB]: "
+              f"cold {cache_section['cold']['wall_s']:.2f}s -> "
+              f"warm {cache_section['warm']['wall_s']:.2f}s  "
+              f"speedup {cache_section['warm_speedup']:.1f}x  "
+              f"warm hit rate {cache_section['warm']['hit_rate']:.2f}  "
+              f"bit-identical {cache_section['warm']['bit_identical']}")
+
     store_stats = store.stats()
     report["store"] = {
         "hits": store_stats.hits,
@@ -704,6 +889,8 @@ def run(args: argparse.Namespace) -> int:
             )
     if chaos_section is not None:
         failures.extend(chaos_guard_failures(chaos_section))
+    if cache_section is not None:
+        failures.extend(cache_guard_failures(cache_section, args))
     if args.min_store_hit_rate is not None and store_stats.hit_rate < args.min_store_hit_rate:
         failures.append(
             f"store hit rate {store_stats.hit_rate:.2f} below required "
@@ -728,6 +915,8 @@ def run(args: argparse.Namespace) -> int:
     report["guards"] = {
         "min_store_hit_rate": args.min_store_hit_rate,
         "min_pool_speedup": args.min_pool_speedup,
+        "min_cache_hit_rate": args.min_cache_hit_rate,
+        "min_cache_speedup": args.min_cache_speedup if args.cache else None,
         "failures": failures,
     }
 

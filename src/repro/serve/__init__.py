@@ -12,7 +12,7 @@ into a multi-tenant server:
 >>> server.result(job).image.shape
 (64, 64, 3)
 
-Six layers, one module each:
+Seven layers, one module each:
 
 * :mod:`~repro.serve.store` — :class:`SceneStore`: lazily built
   ``(scene, field, engine)`` bundles per ``(scene_name, pipeline)``, LRU
@@ -21,6 +21,12 @@ Six layers, one module each:
   processes rebuild shard-local stores with per-shard budgets.
 * :mod:`~repro.serve.tiles` — frame sharding into contiguous pixel tiles
   whose recomposition is bit-identical to a direct whole-frame render.
+* :mod:`~repro.serve.cache` — :class:`TileCache`: finished tiles under an
+  LRU byte budget, content-addressed by a canonical fingerprint of
+  ``(bundle identity, camera pose + intrinsics, tile span, render knobs)``.
+  Renders are deterministic, so cached tiles are *exact*; the scheduler
+  serves hits without touching the backend and collapses identical
+  in-flight tiles across concurrent jobs into one dispatch.
 * :mod:`~repro.serve.backends` — where tiles execute:
   :class:`SerialBackend` (deterministic, default),
   :class:`ThreadPoolBackend` (shared store, GIL-bound), and
@@ -67,6 +73,14 @@ from repro.serve.backends import (
     TileTask,
     make_backend,
 )
+from repro.serve.cache import (
+    CACHE_MODES,
+    DEFAULT_CACHE_BUDGET_BYTES,
+    TileCache,
+    TileCacheStats,
+    make_cache,
+    tile_fingerprint,
+)
 from repro.serve.metrics import (
     PROMETHEUS_CONTENT_TYPE,
     StreamingHistogram,
@@ -102,9 +116,12 @@ from repro.serve.tracing import (
 from repro.serve.traffic import (
     TrafficItem,
     closed_loop_workload,
+    dolly_workload,
     http_open_loop,
+    interpolated_walkthrough_workload,
     orbit_workload,
     poisson_workload,
+    popular_scene_workload,
     replay_closed_loop,
     replay_open_loop,
     summarize_outcomes,
@@ -121,6 +138,13 @@ __all__ = [
     "Tile",
     "plan_tiles",
     "assemble_tiles",
+    # cache
+    "TileCache",
+    "TileCacheStats",
+    "tile_fingerprint",
+    "make_cache",
+    "CACHE_MODES",
+    "DEFAULT_CACHE_BUDGET_BYTES",
     # backends
     "ExecutionBackend",
     "SerialBackend",
@@ -162,6 +186,9 @@ __all__ = [
     "poisson_workload",
     "closed_loop_workload",
     "orbit_workload",
+    "dolly_workload",
+    "interpolated_walkthrough_workload",
+    "popular_scene_workload",
     "replay_open_loop",
     "replay_closed_loop",
     "http_open_loop",

@@ -1,0 +1,276 @@
+"""Content-addressed tile caching: the :class:`TileCache`.
+
+Every render in this system is deterministic and bit-identical (the property
+PRs 2-7 guard at every layer), which turns caching from a quality trade-off
+into pure bookkeeping: a finished tile keyed by *everything that determines
+its bytes* can be replayed forever, exactly.  Real traffic makes that key
+collide constantly — users orbit a few popular scenes along similar camera
+paths, so consecutive frames and concurrent clients re-request the same
+tiles — and the scheduler can skip the backend entirely for a hit.
+
+The key is a canonical fingerprint of the full render input:
+
+* **bundle fingerprint** — the ``(scene, pipeline)`` identity *plus* the
+  store's uniform :class:`~repro.api.PipelineConfig`, scene-loader identity
+  and loader kwargs (everything :class:`~repro.serve.store.SceneStore`
+  already canonicalizes in its picklable spec).  Two stores configured
+  differently never share fingerprints even for the same scene name.
+* **camera pose + intrinsics** — the raw ``camera_to_world`` float64 bytes,
+  width, height and focal.  Keying on the *pose* rather than the camera
+  index means identical viewpoints hit regardless of which rig slot (or
+  client) asked for them.
+* **tile span** — the flat ``[start, stop)`` pixel run.  Tile geometry is
+  part of the batch partition and therefore of the bytes (see
+  :mod:`repro.serve.tiles`), so differently-sized tiles are distinct entries.
+* **render knobs** — the per-job ``transmittance_threshold`` override (the
+  only per-task knob in :class:`~repro.serve.backends.TileTask`).
+
+Entries are finished ``(P, 3)`` tile pixel arrays under an **LRU byte
+budget**: the most recently *inserted or hit* entries survive, eviction
+walks from the cold end, and an entry larger than the whole budget is never
+admitted (it would evict everything for one tenant).  Cached arrays are
+stored and served as read-only copies, so a caller scribbling on a streamed
+tile can never corrupt every future hit.
+
+The clock is injectable (tests drive it deterministically); it only stamps
+entry metadata — LRU order, not timestamps, decides eviction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "CACHE_MODES",
+    "DEFAULT_CACHE_BUDGET_BYTES",
+    "TileCache",
+    "TileCacheStats",
+    "make_cache",
+    "tile_fingerprint",
+]
+
+#: What ``RenderServer(cache=...)`` accepts by name: an LRU byte-budget
+#: cache, or no cache at all.
+CACHE_MODES = ("lru", "off")
+
+#: Default LRU byte budget when ``cache="lru"`` does not pick one.
+DEFAULT_CACHE_BUDGET_BYTES = 256_000_000
+
+
+def tile_fingerprint(
+    bundle_fingerprint: str,
+    camera,
+    start: int,
+    stop: int,
+    transmittance_threshold: Optional[float] = None,
+) -> str:
+    """The canonical content address of one rendered tile.
+
+    Hashes the bundle fingerprint, the camera's pose matrix and intrinsics,
+    the flat pixel span and the per-job render knobs into one hex digest —
+    every input that the deterministic render pipeline maps to the tile's
+    bytes, and nothing else (scheduling order, backend, worker identity and
+    camera *index* are all absent on purpose).
+    """
+    digest = hashlib.sha256()
+    digest.update(bundle_fingerprint.encode("utf-8"))
+    digest.update(np.ascontiguousarray(camera.camera_to_world, dtype=np.float64).tobytes())
+    digest.update(np.asarray(
+        [float(camera.width), float(camera.height), float(camera.focal)],
+        dtype=np.float64,
+    ).tobytes())
+    digest.update(np.asarray([start, stop], dtype=np.int64).tobytes())
+    digest.update(repr(transmittance_threshold).encode("utf-8"))
+    return digest.hexdigest()
+
+
+@dataclass
+class TileCacheStats:
+    """One snapshot of the cache counters (copy — safe to keep)."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    rejected_oversize: int = 0
+    entries: int = 0
+    resident_bytes: int = 0
+    budget_bytes: Optional[int] = None
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when no lookups)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(eq=False)
+class _CacheEntry:
+    image: np.ndarray
+    nbytes: int
+    inserted_s: float
+    last_used_s: float
+    uses: int = 0
+
+
+class TileCache:
+    """An LRU byte-budget cache of finished tile pixel arrays.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Upper bound on the summed bytes of cached tile arrays.  ``None``
+        disables byte-based eviction (tests only — production callers should
+        always bound the cache).  An entry larger than the budget by itself
+        is rejected rather than admitted (it would evict the whole cache).
+    clock:
+        Monotonic time source stamping entry metadata, injectable for
+        deterministic tests.  Eviction is pure LRU order; the clock never
+        decides anything.
+
+    Thread-safe: the scheduler is the only writer today, but the HTTP edge
+    snapshots :meth:`stats` from other threads, so every entry point locks.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: Optional[int] = DEFAULT_CACHE_BUDGET_BYTES,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise ValueError(f"budget_bytes must be positive, got {budget_bytes}")
+        self.budget_bytes = budget_bytes
+        self._clock = clock
+        self._entries: "OrderedDict[str, _CacheEntry]" = OrderedDict()
+        self._resident_bytes = 0
+        self._stats = TileCacheStats(budget_bytes=budget_bytes)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[np.ndarray]:
+        """The cached tile for ``key`` (refreshing its LRU position), or None."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._stats.hits += 1
+            entry.uses += 1
+            entry.last_used_s = self._clock()
+            return entry.image
+
+    def put(self, key: str, image: np.ndarray) -> bool:
+        """Insert one finished tile; returns whether it was admitted.
+
+        The array is copied and frozen (``writeable=False``) so neither the
+        producer mutating its buffer later nor a consumer scribbling on a
+        served hit can corrupt subsequent hits — corruption would be
+        *silent* bit-identity loss, the one failure mode this system never
+        tolerates.  Re-inserting an existing key only refreshes its LRU
+        position (renders are deterministic, the bytes cannot differ).
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return True
+            frozen = np.array(image, copy=True)
+            frozen.setflags(write=False)
+            nbytes = int(frozen.nbytes)
+            if self.budget_bytes is not None and nbytes > self.budget_bytes:
+                self._stats.rejected_oversize += 1
+                return False
+            now = self._clock()
+            self._entries[key] = _CacheEntry(
+                image=frozen, nbytes=nbytes, inserted_s=now, last_used_s=now
+            )
+            self._resident_bytes += nbytes
+            self._stats.insertions += 1
+            while (
+                self.budget_bytes is not None
+                and self._resident_bytes > self.budget_bytes
+            ):
+                _, evicted = self._entries.popitem(last=False)
+                self._resident_bytes -= evicted.nbytes
+                self._stats.evictions += 1
+            return True
+
+    def clear(self) -> None:
+        """Drop every entry (counted as evictions)."""
+        with self._lock:
+            self._stats.evictions += len(self._entries)
+            self._entries.clear()
+            self._resident_bytes = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return self._resident_bytes
+
+    def stats(self) -> TileCacheStats:
+        """A snapshot of the cache counters (copy — safe to keep)."""
+        with self._lock:
+            snapshot = TileCacheStats(**{
+                f: getattr(self._stats, f)
+                for f in ("hits", "misses", "insertions", "evictions", "rejected_oversize")
+            })
+            snapshot.entries = len(self._entries)
+            snapshot.resident_bytes = self._resident_bytes
+            snapshot.budget_bytes = self.budget_bytes
+            return snapshot
+
+
+def make_cache(
+    cache: Union[TileCache, str, None] = "off",
+    budget_bytes: Optional[int] = None,
+    clock: Callable[[], float] = time.perf_counter,
+) -> Optional[TileCache]:
+    """Resolve the server's cache knobs, refusing contradictions loudly.
+
+    Mirrors :func:`~repro.serve.backends.make_backend`: a knob that cannot
+    take effect is an operator error to surface at construction time, not a
+    silently ignored setting.  ``cache`` is a :class:`TileCache` instance,
+    ``"lru"`` (budgeted LRU, ``budget_bytes`` or the default), ``"off"`` /
+    ``None`` (no caching — and then a ``budget_bytes`` is refused), and a
+    ready-made instance refuses a conflicting ``budget_bytes`` too (the
+    instance already owns one).
+    """
+    if isinstance(cache, TileCache):
+        if budget_bytes is not None:
+            raise ValueError(
+                "cache_budget_bytes conflicts with a ready-made TileCache "
+                "instance (it already owns its budget); pass one or the other"
+            )
+        return cache
+    if cache is None or cache == "off":
+        if budget_bytes is not None:
+            raise ValueError(
+                f"cache_budget_bytes={budget_bytes} requires cache='lru'; "
+                "it cannot take effect with the cache off"
+            )
+        return None
+    if cache == "lru":
+        return TileCache(
+            budget_bytes=budget_bytes if budget_bytes is not None else DEFAULT_CACHE_BUDGET_BYTES,
+            clock=clock,
+        )
+    raise ValueError(
+        f"unknown cache mode {cache!r}; choose from {', '.join(CACHE_MODES)} "
+        "or pass a TileCache instance"
+    )

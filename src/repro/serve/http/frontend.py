@@ -35,7 +35,9 @@ GET    ``/v1/jobs/{id}/result``       raw frame bytes + ``X-Frame-*`` metadata
 GET    ``/v1/jobs/{id}/stream``       server-sent events: ``tile`` then terminal
 DELETE ``/v1/jobs/{id}``              cancel (``CANCELLED`` if it was active)
 GET    ``/v1/stats``                  ``{"server": ServerStats, "edge": HttpEdgeStats}``
-GET    ``/v1/metrics``                Prometheus text exposition (server + edge)
+                                      (incl. tile-cache hit/dedupe counters)
+GET    ``/v1/metrics``                Prometheus text exposition (server + edge,
+                                      tile-cache families included)
 GET    ``/v1/trace/{id}``             one job's trace as JSON spans/events
 GET    ``/v1/traces/export``          Chrome trace-event JSON (open in Perfetto)
 ====== ============================== ==============================================

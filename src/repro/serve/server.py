@@ -47,6 +47,7 @@ from repro.hardware.workload import COST_METRICS, FrameWorkload, workload_from_s
 from repro.nerf.metrics import psnr as compute_psnr
 from repro.nerf.renderer import RenderStats
 from repro.serve.backends import ExecutionBackend, SerialBackend, TileResult, TileTask, make_backend
+from repro.serve.cache import TileCache, make_cache, tile_fingerprint
 from repro.serve.metrics import (
     prometheus_counter,
     prometheus_gauge,
@@ -131,6 +132,9 @@ class _Job:
     bundle_cached: Optional[bool] = None
     memory_bytes: int = 0
     tiles: List[Tile] = field(default_factory=list)
+    #: Per-tile content-address fingerprints, computed once at planning time
+    #: (``None`` while the server runs with the cache off).
+    tile_keys: Optional[List[str]] = None
     #: ``(height, width)`` captured at planning time, so finalization never
     #: re-loads a scene the store may have dropped mid-job.
     frame_shape: Optional[Tuple[int, int]] = None
@@ -244,6 +248,20 @@ class RenderServer:
         Retention bound on finished jobs (done, rejected, expired, failed):
         once exceeded, the oldest-finished jobs — frames included — are
         forgotten and their ids no longer poll (``None`` = keep forever).
+    cache:
+        The content-addressed tile cache (see :mod:`repro.serve.cache`):
+        a ready-made :class:`~repro.serve.cache.TileCache`, ``"lru"`` for a
+        byte-budgeted LRU cache, or ``"off"`` / ``None`` (the default — the
+        scheduler behaves exactly as before).  With a cache, tiles whose
+        fingerprint is resident skip the backend entirely, and identical
+        tiles *in flight* across concurrent jobs collapse to one dispatch
+        whose result fans out to every waiting job at apply time.  Served
+        frames stay bit-identical either way — renders are deterministic,
+        so a cached tile's bytes equal a fresh render's.
+    cache_budget_bytes:
+        LRU byte budget for ``cache="lru"``.  Refused (like any knob that
+        cannot take effect) with the cache off or with a ready-made
+        instance that owns its own budget.
     clock:
         Monotonic time source (injectable for deterministic deadline tests).
         Worker utilization always uses real wall time.
@@ -264,6 +282,8 @@ class RenderServer:
         over_cost_policy: str = "reject",
         default_tile_size: Optional[int] = None,
         max_finished_jobs: Optional[int] = 1024,
+        cache: Union[TileCache, str, None] = None,
+        cache_budget_bytes: Optional[int] = None,
         clock: Callable[[], float] = time.perf_counter,
         trace_capacity: int = 256,
     ) -> None:
@@ -298,6 +318,14 @@ class RenderServer:
         self.default_tile_size = default_tile_size
         self.max_finished_jobs = max_finished_jobs
         self._clock = clock
+        self.cache = make_cache(cache, cache_budget_bytes, clock=clock)
+        #: In-flight dedupe: fingerprint -> ``[(job_id, tile_index), ...]``
+        #: of every job waiting on that tile; the first entry owns the one
+        #: real backend dispatch, the rest attached without dispatching.
+        self._pending_keys: Dict[str, List[Tuple[str, int]]] = {}
+        #: Reverse map of the origin dispatch: ``(job_id, tile_index)`` ->
+        #: fingerprint, popped when the (first, non-duplicate) result lands.
+        self._task_keys: Dict[Tuple[str, int], str] = {}
         self._jobs: Dict[str, _Job] = {}
         self._queues: Dict[Priority, Deque[str]] = {p: deque() for p in Priority}
         #: Ids still wanting worker time — submit/step touch this, never _jobs.
@@ -568,6 +596,7 @@ class RenderServer:
             redispatched_tiles=self.backend.redispatched_tiles,
             hedged_tiles=self.backend.hedged_tiles,
             stolen_keys=self.backend.stolen_keys,
+            cache_stats=self.cache.stats() if self.cache is not None else None,
         )
 
     def metrics_families(self) -> List[List[str]]:
@@ -595,6 +624,14 @@ class RenderServer:
             ("store_misses", "Bundle requests that forced a build.", stats.store_misses),
             ("store_evictions", "Bundles evicted by the store's LRU budget.",
              stats.store_evictions),
+            ("cache_hits", "Tiles served from the content-addressed cache.",
+             stats.cache_hits),
+            ("cache_misses", "Tile cache lookups that went to the backend.",
+             stats.cache_misses),
+            ("cache_evictions", "Tiles evicted by the cache's LRU byte budget.",
+             stats.cache_evictions),
+            ("tiles_deduped", "Tiles attached to an identical in-flight dispatch.",
+             stats.deduped_tiles),
             ("rays_rendered", "Rays rendered across all tiles.", stats.num_rays),
         ]
         families = [
@@ -622,6 +659,16 @@ class RenderServer:
             [(None, stats.resident_bytes)],
         ))
         families.append(prometheus_gauge(
+            "repro_serve_cache_entries",
+            "Tiles resident in the content-addressed cache.",
+            [(None, stats.cache_entries)],
+        ))
+        families.append(prometheus_gauge(
+            "repro_serve_cache_bytes",
+            "Bytes of resident cached tiles.",
+            [(None, stats.cache_bytes)],
+        ))
+        families.append(prometheus_gauge(
             "repro_serve_worker_utilization",
             "Per-worker busy fraction since the first dispatch.",
             [({"worker": str(worker)}, value)
@@ -641,6 +688,7 @@ class RenderServer:
             "queue_wait": "Submission-to-first-dispatch wait per job.",
             "build": "Bundle build time per cold tile batch.",
             "render": "Per-tile render service time.",
+            "cache_hit": "Scheduler time serving a tile from the cache.",
             "reassemble": "Tile recomposition + reference compare per job.",
             "deliver": "Completion-to-first-fetch lag per delivered job.",
             "latency": "Submission-to-completion latency per job.",
@@ -681,8 +729,8 @@ class RenderServer:
         self.backend.maintain()
         self._drain_backend_events()
         self._apply(self.backend.collect())
-        dispatched = self._dispatch()
-        if dispatched == 0 and self.backend.in_flight > 0:
+        progressed = self._dispatch()
+        if progressed == 0 and self.backend.in_flight > 0:
             self._apply(self.backend.collect(block=True))
         else:
             self._apply(self.backend.collect())
@@ -756,14 +804,24 @@ class RenderServer:
         return None
 
     def _dispatch(self) -> int:
-        """Submit runnable tiles round-robin until the backend is full.
+        """Advance runnable tiles round-robin until the backend is full.
 
         A job whose ``(scene, pipeline)`` key the backend cannot accept
         right now (its sticky worker is at queue depth) is deferred to the
         next step rather than force-enqueued, keeping per-worker run-ahead
         bounded and leaving undispatched tiles cancellable by deadlines.
+
+        With the cache on, each tile takes the cheapest of three paths, in
+        order: a **cache hit** applies the stored pixels immediately (no
+        backend, no capacity consumed), an identical tile already **in
+        flight** for another job attaches to that dispatch's waiter list
+        (fan-out happens when the result lands in :meth:`_apply`), and only
+        a genuinely novel tile pays for a backend dispatch.  The returned
+        count is total *progress* (dispatches + hits + attaches) — the step
+        loop uses it to decide whether blocking on the backend is the only
+        way forward.
         """
-        dispatched = 0
+        progressed = 0
         deferred: List[_Job] = []
         while self.backend.has_capacity():
             job = self._next_job()
@@ -778,10 +836,41 @@ class RenderServer:
                 except Exception as exc:  # noqa: BLE001 - a bad job must not
                     self._fail(job, f"{type(exc).__name__}: {exc}")  # kill the server
                     continue
-            tile = job.tiles[job.tiles_dispatched]
+            tile_index = job.tiles_dispatched
+            tile = job.tiles[tile_index]
+            key = job.tile_keys[tile_index] if job.tile_keys is not None else None
+            job.tiles_dispatched += 1
+            # Requeue BEFORE submitting/applying: a serial backend renders
+            # inline, and a failure there must not lose the queue position.
+            if job.tiles_dispatched < len(job.tiles):
+                self._queues[job.priority].append(job.job_id)
+            if key is not None:
+                hit_start = self._clock()
+                cached = self.cache.get(key)
+                if cached is not None:
+                    self._serve_cache_hit(job, tile_index, cached, hit_start)
+                    progressed += 1
+                    continue
+                waiters = self._pending_keys.get(key)
+                if waiters is not None:
+                    origin_job, origin_tile = waiters[0]
+                    waiters.append((job.job_id, tile_index))
+                    self.telemetry.deduped_tiles += 1
+                    self.tracer.add_event(
+                        job.job_id,
+                        "dedup-attach",
+                        tile=tile_index,
+                        origin_job=origin_job,
+                        origin_tile=origin_tile,
+                        link=f"{origin_job}/{origin_tile}",
+                    )
+                    progressed += 1
+                    continue
+                self._pending_keys[key] = [(job.job_id, tile_index)]
+                self._task_keys[(job.job_id, tile_index)] = key
             task = TileTask(
                 job_id=job.job_id,
-                tile_index=job.tiles_dispatched,
+                tile_index=tile_index,
                 scene=job.scene,
                 pipeline=job.pipeline,
                 camera_index=tile.camera_index,
@@ -789,16 +878,11 @@ class RenderServer:
                 stop=tile.stop,
                 transmittance_threshold=job.transmittance_threshold,
             )
-            job.tiles_dispatched += 1
-            # Requeue BEFORE submitting: a serial backend renders inline, and
-            # a failure there must not lose the job's queue position.
-            if job.tiles_dispatched < len(job.tiles):
-                self._queues[job.priority].append(job.job_id)
             self.backend.submit(task)
-            dispatched += 1
+            progressed += 1
         for job in deferred:
             self._queues[job.priority].append(job.job_id)
-        return dispatched
+        return progressed
 
     def _plan(self, job: _Job) -> None:
         """First scheduling of a job: resolve geometry and plan its tiles.
@@ -817,55 +901,126 @@ class RenderServer:
         )
         job.tiles = plan_tiles(camera.num_pixels, tile_size, camera_index=job.camera_index)
         job.frame_shape = (camera.height, camera.width)
+        if self.cache is not None:
+            # Content addresses are a pure function of immutable inputs, so
+            # one computation at plan time covers the job's whole lifetime.
+            bundle = self.store.bundle_fingerprint(job.scene, job.pipeline)
+            job.tile_keys = [
+                tile_fingerprint(
+                    bundle, camera, tile.start, tile.stop, job.transmittance_threshold
+                )
+                for tile in job.tiles
+            ]
         job.started_at = self._clock()
         self.tracer.end_span(job.job_id, "queue", end_s=job.started_at)
         if self._wall_start is None:
             self._wall_start = time.perf_counter()
 
     def _apply(self, results: List[TileResult]) -> None:
-        """Fold completed (possibly out-of-order) tiles back into their jobs."""
+        """Fold completed (possibly out-of-order) tiles back into their jobs.
+
+        Each non-duplicate result resolves its pending-key entry: the tile
+        is inserted into the cache and applied to *every* job that attached
+        to the dispatch (the origin first), so cross-job dedupe costs one
+        render however many jobs wanted the tile.  Only the origin absorbs
+        the result's render stats and service time — the work happened
+        once, and the aggregate telemetry must add up.
+        """
         for result in results:
             if result.stats is not None:
                 self.telemetry.record_tile(result.stats, result.service_s, result.worker_id)
             if result.build_s > 0.0:
                 self.telemetry.record_build(result.build_s, result.worker_id)
-            job = self._jobs.get(result.job_id)
-            if job is None or job.state not in _ACTIVE_STATES:
-                # Late arrival for an expired/failed/retired job: the work is
-                # counted (it did busy a worker) but the frame is gone.
-                self.telemetry.dropped_tile_results += 1
-                continue
-            if result.duplicate or result.tile_index in job.tile_images:
+            if result.duplicate:
                 # A hedge loser or re-dispatch echo: byte-identical to the
                 # copy already applied (renders are deterministic), so the
                 # first completion won and this one is dropped — even when
                 # the loser is an error, since the tile demonstrably
-                # rendered fine once.
+                # rendered fine once.  It must not resolve the pending-key
+                # table either; the winner already did.
                 self.telemetry.dropped_tile_results += 1
                 continue
+            key = self._task_keys.pop((result.job_id, result.tile_index), None)
+            waiters = self._pending_keys.pop(key, None) if key is not None else None
+            if waiters is None:
+                waiters = [(result.job_id, result.tile_index)]
             if result.error is not None:
-                self._fail(job, result.error)
+                # The render input is identical for every attached job, so
+                # the failure is every waiter's failure (determinism cuts
+                # both ways).  Nothing is cached.
+                for job_id, _ in waiters:
+                    job = self._jobs.get(job_id)
+                    if job is None or job.state not in _ACTIVE_STATES:
+                        self.telemetry.dropped_tile_results += 1
+                        continue
+                    self._fail(job, result.error)
                 continue
-            if result.tile_index < job.max_applied_tile:
-                self.telemetry.ooo_completions += 1
-            job.max_applied_tile = max(job.max_applied_tile, result.tile_index)
-            job.tile_images[result.tile_index] = result.image
-            job.tiles_completed += 1
-            self._trace_tile(job.job_id, result)
-            job.stats.merge(result.stats)
-            job.service_s += result.service_s + result.build_s
-            if job.bundle_cached is None:
-                job.bundle_cached = result.bundle_cached
-            job.memory_bytes = max(job.memory_bytes, result.memory_bytes)
-            if job.tiles_completed >= len(job.tiles):
-                try:
-                    self._finalize(job)
-                except Exception as exc:  # noqa: BLE001 - a job that cannot
-                    # finalize (reference render, assembly) fails alone; it
-                    # must not abort the scheduling loop mid-collection.
-                    self._fail(job, f"{type(exc).__name__}: {exc}")
+            if key is not None:
+                self.cache.put(key, result.image)
+            link = f"{result.job_id}/{result.tile_index}" if len(waiters) > 1 else None
+            for job_id, tile_index in waiters:
+                job = self._jobs.get(job_id)
+                if job is None or job.state not in _ACTIVE_STATES:
+                    # Late arrival for an expired/failed/retired job: the
+                    # work is counted (it did busy a worker) but the frame
+                    # is gone.
+                    self.telemetry.dropped_tile_results += 1
+                    continue
+                if tile_index in job.tile_images:
+                    self.telemetry.dropped_tile_results += 1
+                    continue
+                if job_id == result.job_id and tile_index == result.tile_index:
+                    self._trace_tile(job_id, result, link=link)
+                    job.stats.merge(result.stats)
+                    job.service_s += result.service_s + result.build_s
+                    if job.bundle_cached is None:
+                        job.bundle_cached = result.bundle_cached
+                    job.memory_bytes = max(job.memory_bytes, result.memory_bytes)
+                elif self.tracer.enabled:
+                    now = self._clock()
+                    self.tracer.add_span(
+                        job_id, "render-tile", start_s=now, end_s=now,
+                        tile=tile_index, origin="dedup",
+                        origin_job=result.job_id, link=link,
+                    )
+                self._apply_tile(job, tile_index, result.image)
 
-    def _trace_tile(self, job_id: str, result: TileResult) -> None:
+    def _serve_cache_hit(
+        self, job: _Job, tile_index: int, image: np.ndarray, hit_start: float
+    ) -> None:
+        """Apply one cache-hit tile straight to its job (no backend round trip).
+
+        The hit contributes no render stats, busy time or worker
+        utilization — no worker rendered anything; the scheduler-side cost
+        (lookup + apply) feeds the ``cache_hit`` stage histogram instead,
+        which is the latency a hot-path frame actually pays per tile.
+        """
+        applied_at = self._clock()
+        self.telemetry.record_cache_hit(applied_at - hit_start)
+        if self.tracer.enabled:
+            self.tracer.add_event(job.job_id, "cache-hit", ts_s=applied_at, tile=tile_index)
+            self.tracer.add_span(
+                job.job_id, "render-tile", start_s=hit_start, end_s=applied_at,
+                tile=tile_index, origin="cache",
+            )
+        self._apply_tile(job, tile_index, image)
+
+    def _apply_tile(self, job: _Job, tile_index: int, image: np.ndarray) -> None:
+        """The common tail of every apply path: record the pixels, maybe finish."""
+        if tile_index < job.max_applied_tile:
+            self.telemetry.ooo_completions += 1
+        job.max_applied_tile = max(job.max_applied_tile, tile_index)
+        job.tile_images[tile_index] = image
+        job.tiles_completed += 1
+        if job.tiles_completed >= len(job.tiles):
+            try:
+                self._finalize(job)
+            except Exception as exc:  # noqa: BLE001 - a job that cannot
+                # finalize (reference render, assembly) fails alone; it
+                # must not abort the scheduling loop mid-collection.
+                self._fail(job, f"{type(exc).__name__}: {exc}")
+
+    def _trace_tile(self, job_id: str, result: TileResult, link: Optional[str] = None) -> None:
         """Anchor one tile's worker-reported durations as scheduler-clock spans.
 
         Workers report ``build_s``/``service_s`` *durations* (never their own
@@ -873,6 +1028,10 @@ class RenderServer:
         scheduler applied the result — build, then render, ending now.  The
         small right-shift (result-queue residency) is the price of keeping
         every span on one monotonic clock across the process boundary.
+
+        ``link`` marks this render as the origin of a cross-job dedupe
+        fan-out; the Chrome export draws a flow arrow from this span to
+        every attached job's span carrying the same link.
         """
         if not self.tracer.enabled:
             return
@@ -887,13 +1046,15 @@ class RenderServer:
                 worker=result.worker_id,
                 tile=result.tile_index,
             )
+        attrs = {"worker": result.worker_id, "tile": result.tile_index}
+        if link is not None:
+            attrs["link"] = link
         self.tracer.add_span(
             job_id,
             "render-tile",
             start_s=render_start,
             end_s=applied_at,
-            worker=result.worker_id,
-            tile=result.tile_index,
+            **attrs,
         )
 
     def _finalize(self, job: _Job) -> None:

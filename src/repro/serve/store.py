@@ -19,6 +19,7 @@ compressed model cached on it — is dropped too.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from collections import OrderedDict
@@ -171,6 +172,8 @@ class SceneStore:
         self._stats = SceneStoreStats()
         #: Keys whose builds fail with :class:`PoisonedBundleError` (chaos).
         self._poisoned: set = set()
+        #: Memoized bundle fingerprints (pure functions of immutable config).
+        self._fingerprints: Dict[StoreKey, str] = {}
         #: The store is shared between the scheduler (scene-level planning
         #: reads) and thread-backend workers (bundle builds): this reentrant
         #: lock serializes every bundle-level entry point.  Builds are
@@ -218,6 +221,48 @@ class SceneStore:
             shard_index=shard_index,
             num_shards=num_shards,
         )
+
+    # ------------------------------------------------------------------
+    def bundle_fingerprint(self, scene_name: str, pipeline: str) -> str:
+        """The canonical content identity of one ``(scene, pipeline)`` bundle.
+
+        A hex digest of everything that determines the *bytes* the bundle
+        renders: the key itself plus the store's uniform
+        :class:`PipelineConfig` (a frozen dataclass — its repr is its
+        canonical form), the scene-loader identity, and the loader kwargs.
+        This is exactly the identity :meth:`spec` ships to worker shards —
+        two stores whose specs differ produce different fingerprints, two
+        stores (or shards) with the same spec produce the same ones, which
+        is what makes the fingerprint safe to use as the bundle component
+        of :func:`~repro.serve.cache.tile_fingerprint` cache keys.
+
+        Sharding geometry and residency budgets are deliberately excluded:
+        they decide *where and whether* a bundle is resident, never what it
+        renders.
+        """
+        key = (scene_name, pipeline)
+        cached = self._fingerprints.get(key)
+        if cached is not None:
+            return cached
+        loader = self._loader
+        loader_id = (
+            "default"
+            if loader is None
+            else f"{getattr(loader, '__module__', '?')}.{getattr(loader, '__qualname__', loader)}"
+        )
+        digest = hashlib.sha256()
+        for part in (
+            scene_name,
+            pipeline,
+            repr(self.config),
+            loader_id,
+            repr(sorted(self._scene_kwargs.items())),
+        ):
+            digest.update(part.encode("utf-8"))
+            digest.update(b"\x00")
+        fingerprint = digest.hexdigest()
+        self._fingerprints[key] = fingerprint
+        return fingerprint
 
     # ------------------------------------------------------------------
     def get(self, scene_name: str, pipeline: str) -> SceneBundleRecord:

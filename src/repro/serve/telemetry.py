@@ -31,13 +31,18 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.nerf.renderer import RenderStats
+from repro.serve.cache import TileCacheStats
 from repro.serve.metrics import StreamingHistogram
 from repro.serve.store import SceneStoreStats
 
 __all__ = ["ServerStats", "Telemetry", "percentile", "STAGE_NAMES"]
 
 #: The per-stage distributions ``Telemetry`` maintains, in pipeline order.
-STAGE_NAMES = ("queue_wait", "build", "render", "reassemble", "deliver", "latency")
+#: ``cache_hit`` times the scheduler serving a tile straight from the
+#: :class:`~repro.serve.cache.TileCache` (lookup + apply, no backend).
+STAGE_NAMES = (
+    "queue_wait", "build", "render", "cache_hit", "reassemble", "deliver", "latency"
+)
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -131,6 +136,21 @@ class ServerStats:
     store_evictions: int = 0
     resident_bundles: int = 0
     resident_bytes: int = 0
+    #: Tile-cache counters (all zero while the server runs with the cache
+    #: off).  ``cache_hits`` are tiles served straight from the
+    #: content-addressed cache without touching the backend;
+    #: ``deduped_tiles`` are tiles that attached to an identical in-flight
+    #: dispatch of another job instead of dispatching their own.  Cache-hit
+    #: *latency* lives in ``stage_breakdown["cache_hit"]``.
+    cache_enabled: bool = False
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_hit_rate: float = 0.0
+    cache_insertions: int = 0
+    cache_evictions: int = 0
+    cache_entries: int = 0
+    cache_bytes: int = 0
+    deduped_tiles: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         """JSON-ready flat mapping (what ``BENCH_serve.json`` stores)."""
@@ -160,6 +180,7 @@ class Telemetry:
     tiles_rendered: int = 0
     ooo_completions: int = 0
     dropped_tile_results: int = 0
+    deduped_tiles: int = 0
     busy_s: float = 0.0
     render_stats: RenderStats = field(default_factory=RenderStats)
     stages: Dict[str, StreamingHistogram] = field(default_factory=_stage_histograms)
@@ -173,6 +194,16 @@ class Telemetry:
         self.render_stats.merge(stats)
         self.stages["render"].observe(service_s)
         self.worker_busy_s[worker_id] = self.worker_busy_s.get(worker_id, 0.0) + service_s
+
+    def record_cache_hit(self, elapsed_s: float) -> None:
+        """One tile served from the content-addressed cache (no backend).
+
+        ``elapsed_s`` spans lookup to apply on the scheduler; it is *not*
+        busy time (no worker rendered anything), so it feeds only the
+        ``cache_hit`` stage histogram — throughput normalization and
+        worker utilization stay untouched.
+        """
+        self.stages["cache_hit"].observe(elapsed_s)
 
     def record_build(self, build_s: float, worker_id: int = 0) -> None:
         """Bundle construction is service time too (it blocks its worker)."""
@@ -206,6 +237,7 @@ class Telemetry:
         redispatched_tiles: int = 0,
         hedged_tiles: int = 0,
         stolen_keys: int = 0,
+        cache_stats: Optional[TileCacheStats] = None,
     ) -> ServerStats:
         """Aggregate everything recorded so far into one :class:`ServerStats`.
 
@@ -233,6 +265,7 @@ class Telemetry:
             tiles_rendered=self.tiles_rendered,
             ooo_completions=self.ooo_completions,
             dropped_tile_results=self.dropped_tile_results,
+            deduped_tiles=self.deduped_tiles,
             worker_respawns=worker_respawns,
             redispatched_tiles=redispatched_tiles,
             hedged_tiles=hedged_tiles,
@@ -268,4 +301,13 @@ class Telemetry:
             stats.store_evictions = store_stats.evictions
             stats.resident_bundles = store_stats.resident_entries
             stats.resident_bytes = store_stats.resident_bytes
+        if cache_stats is not None:
+            stats.cache_enabled = True
+            stats.cache_hits = cache_stats.hits
+            stats.cache_misses = cache_stats.misses
+            stats.cache_hit_rate = cache_stats.hit_rate
+            stats.cache_insertions = cache_stats.insertions
+            stats.cache_evictions = cache_stats.evictions
+            stats.cache_entries = cache_stats.entries
+            stats.cache_bytes = cache_stats.resident_bytes
         return stats

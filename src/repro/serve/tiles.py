@@ -38,6 +38,15 @@ class Tile:
     def num_pixels(self) -> int:
         return self.stop - self.start
 
+    @property
+    def span(self) -> Tuple[int, int]:
+        """The flat ``[start, stop)`` pixel run — the tile-geometry component
+        of a :func:`~repro.serve.cache.tile_fingerprint` cache key.  Two
+        tiles with equal spans of the same camera render equal bytes; the
+        camera index is deliberately not part of the span (pose identity
+        lives in the fingerprint's camera component instead)."""
+        return (self.start, self.stop)
+
     def pixel_indices(self) -> np.ndarray:
         """The flat pixel indices this tile renders."""
         return np.arange(self.start, self.stop, dtype=np.int64)

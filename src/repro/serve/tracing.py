@@ -49,6 +49,11 @@ __all__ = [
 SPAN_NAMES = ("queue", "build", "render-tile", "reassemble", "deliver")
 
 #: The point events the scheduler and supervisor annotate traces with.
+#: ``cache-hit`` marks a tile served straight from the content-addressed
+#: cache; ``dedup-attach`` marks a tile that joined an identical in-flight
+#: dispatch of another job instead of dispatching its own (its ``link``
+#: attr ties it to the origin's ``render-tile`` span — the Chrome export
+#: renders the pair as a flow arrow).
 EVENT_NAMES = (
     "hedged",
     "redispatched",
@@ -58,6 +63,8 @@ EVENT_NAMES = (
     "rejected",
     "cancelled",
     "failed",
+    "cache-hit",
+    "dedup-attach",
 )
 
 
@@ -289,6 +296,15 @@ class TraceRecorder:
         events and point events become instants (``ph: "i"``).  Timestamps
         are microseconds rebased to the earliest moment in the export, so
         the flamegraph starts at t=0 regardless of the clock's epoch.
+
+        Spans carrying a ``link`` attr (the in-flight dedupe machinery sets
+        one on the origin ``render-tile`` span and on every attached job's
+        cache-origin span) additionally emit Chrome *flow* events: a flow
+        starts (``ph: "s"``) at the origin span's end and finishes
+        (``ph: "f"``) at each attached span — Perfetto draws an arrow from
+        the one real dispatch to every job that reused its result.  Flow
+        ids are assigned per export in first-seen order, so the document is
+        deterministic under a deterministic clock.
         """
         traces = self.traces()
         moments = [trace.origin_s for trace in traces]
@@ -304,6 +320,11 @@ class TraceRecorder:
             {"ph": "M", "pid": 1, "tid": 0, "name": "thread_name",
              "args": {"name": "supervisor"}},
         ]
+        link_ids: Dict[object, int] = {}
+
+        def link_id(link: object) -> int:
+            return link_ids.setdefault(link, len(link_ids) + 1)
+
         for lane, trace in enumerate(traces, start=1):
             label = "{} {}/{}".format(
                 trace.job_id, trace.attrs.get("scene", "?"), trace.attrs.get("pipeline", "?")
@@ -326,6 +347,22 @@ class TraceRecorder:
                     "dur": max(end - span.start_s, 0.0) * 1e6,
                     "args": {**span.attrs, "job_id": trace.job_id},
                 })
+                link = span.attrs.get("link")
+                if link is not None:
+                    # Dedupe span links: the origin dispatch starts the flow
+                    # at its span end, every attached reuse finishes it.
+                    if span.attrs.get("origin") == "dedup":
+                        events.append({
+                            "ph": "f", "bp": "e", "pid": 1, "tid": lane,
+                            "name": "dedup", "cat": "flow",
+                            "id": link_id(link), "ts": us(span.start_s),
+                        })
+                    else:
+                        events.append({
+                            "ph": "s", "pid": 1, "tid": lane,
+                            "name": "dedup", "cat": "flow",
+                            "id": link_id(link), "ts": us(end),
+                        })
             for event in trace.events:
                 events.append({
                     "ph": "i",

@@ -36,6 +36,9 @@ __all__ = [
     "poisson_workload",
     "closed_loop_workload",
     "orbit_workload",
+    "dolly_workload",
+    "interpolated_walkthrough_workload",
+    "popular_scene_workload",
     "replay_open_loop",
     "replay_closed_loop",
     "http_open_loop",
@@ -180,6 +183,180 @@ def orbit_workload(
         )
         for frame in range(num_frames)
     ]
+
+
+def dolly_workload(
+    scene: str,
+    pipeline: str,
+    num_cameras: int,
+    num_frames: int,
+    frame_interval_s: float,
+    sweep: Optional[int] = None,
+    client: str = "anon",
+    start_s: float = 0.0,
+    priority: Priority = Priority.NORMAL,
+    deadline_s: Optional[float] = None,
+) -> List[TrafficItem]:
+    """One client dollying back and forth along an arc of the camera rig.
+
+    The scrub-the-slider trace: the camera ping-pongs over the contiguous
+    arc ``[0, sweep]`` of the rig (a triangle wave over camera indices), so
+    consecutive frames always move exactly one rig step and *every frame
+    past the first sweep revisits a pose already rendered* — the
+    temporally-coherent counterpart of :func:`orbit_workload`, and the
+    workload with the highest steady-state tile-cache hit rate.
+    Deterministic: no randomness at all.
+    """
+    if num_cameras < 1:
+        raise ValueError(f"num_cameras must be at least 1, got {num_cameras}")
+    if num_frames < 1:
+        raise ValueError(f"num_frames must be at least 1, got {num_frames}")
+    if frame_interval_s < 0:
+        raise ValueError(f"frame_interval_s must be non-negative, got {frame_interval_s}")
+    if sweep is None:
+        sweep = max(num_cameras - 1, 1)
+    if not 1 <= sweep < max(num_cameras, 2):
+        raise ValueError(
+            f"sweep must be in [1, {max(num_cameras - 1, 1)}] for {num_cameras} "
+            f"cameras, got {sweep}"
+        )
+    period = 2 * sweep
+    items: List[TrafficItem] = []
+    for frame in range(num_frames):
+        phase = frame % period
+        camera_index = phase if phase <= sweep else period - phase
+        items.append(
+            TrafficItem(
+                arrival_s=start_s + frame * frame_interval_s,
+                scene=scene,
+                pipeline=pipeline,
+                camera_index=camera_index % num_cameras,
+                priority=priority,
+                deadline_s=deadline_s,
+                client=client,
+            )
+        )
+    return items
+
+
+def interpolated_walkthrough_workload(
+    scene: str,
+    pipeline: str,
+    num_cameras: int,
+    waypoints: Optional[Sequence[int]] = None,
+    num_waypoints: int = 4,
+    frame_interval_s: float = 0.0,
+    seed: int = 0,
+    client: str = "anon",
+    start_s: float = 0.0,
+    priority: Priority = Priority.NORMAL,
+    deadline_s: Optional[float] = None,
+) -> List[TrafficItem]:
+    """A camera walkthrough interpolated between rig waypoints, one step a frame.
+
+    Waypoints are camera indices on the rig (drawn deterministically from
+    ``seed`` when not given); between consecutive waypoints the path steps
+    one rig position at a time along the *shorter* arc of the ring, emitting
+    every intermediate camera as one frame.  Consecutive frames therefore
+    never jump more than one rig step — bounded pose delta, the property the
+    continuity tests assert — and revisited arcs replay earlier frames'
+    exact poses.  Deterministic in ``seed`` (and fully so when explicit
+    ``waypoints`` are given).
+    """
+    if num_cameras < 1:
+        raise ValueError(f"num_cameras must be at least 1, got {num_cameras}")
+    if frame_interval_s < 0:
+        raise ValueError(f"frame_interval_s must be non-negative, got {frame_interval_s}")
+    if waypoints is None:
+        if num_waypoints < 2:
+            raise ValueError(f"num_waypoints must be at least 2, got {num_waypoints}")
+        rng = np.random.default_rng(seed)
+        waypoints = [int(rng.integers(num_cameras)) for _ in range(num_waypoints)]
+    else:
+        waypoints = [int(w) for w in waypoints]
+        if len(waypoints) < 2:
+            raise ValueError(f"need at least 2 waypoints, got {len(waypoints)}")
+        for waypoint in waypoints:
+            if not 0 <= waypoint < num_cameras:
+                raise ValueError(
+                    f"waypoint {waypoint} out of range for {num_cameras} cameras"
+                )
+    path: List[int] = [waypoints[0]]
+    for target in waypoints[1:]:
+        position = path[-1]
+        while position != target:
+            forward = (target - position) % num_cameras
+            backward = (position - target) % num_cameras
+            position = (position + (1 if forward <= backward else -1)) % num_cameras
+            path.append(position)
+    return [
+        TrafficItem(
+            arrival_s=start_s + frame * frame_interval_s,
+            scene=scene,
+            pipeline=pipeline,
+            camera_index=camera_index,
+            priority=priority,
+            deadline_s=deadline_s,
+            client=client,
+        )
+        for frame, camera_index in enumerate(path)
+    ]
+
+
+def popular_scene_workload(
+    scenes: Sequence[str],
+    pipeline: str,
+    num_clients: int,
+    num_cameras: int,
+    num_frames: int,
+    frame_interval_s: float,
+    popular_fraction: float = 0.75,
+    seed: int = 0,
+) -> List[TrafficItem]:
+    """A multi-client mixture concentrated on one popular scene.
+
+    The production traffic shape the ROADMAP describes — millions of users
+    orbit a few popular scenes along similar paths.  A ``popular_fraction``
+    of the clients all orbit ``scenes[0]`` *in phase* (same cameras at the
+    same arrival times, the worst case the in-flight dedupe machinery
+    exists for: concurrent identical tiles across distinct jobs); the
+    remaining clients orbit a seeded choice of the other scenes with a
+    random camera phase, providing the background of unrelated work.
+    Items are returned sorted by arrival time then client id, and the whole
+    trace is deterministic in ``seed``.
+    """
+    if not scenes:
+        raise ValueError("need at least one scene")
+    if num_clients < 1:
+        raise ValueError(f"num_clients must be at least 1, got {num_clients}")
+    if not 0.0 <= popular_fraction <= 1.0:
+        raise ValueError(f"popular_fraction must be in [0, 1], got {popular_fraction}")
+    rng = np.random.default_rng(seed)
+    num_popular = max(1, round(popular_fraction * num_clients))
+    items: List[TrafficItem] = []
+    for index in range(num_clients):
+        client = f"client-{index:03d}"
+        if index < num_popular or len(scenes) == 1:
+            items.extend(
+                orbit_workload(
+                    scenes[0], pipeline, num_cameras, num_frames,
+                    frame_interval_s, client=client,
+                )
+            )
+        else:
+            scene = scenes[1 + int(rng.integers(len(scenes) - 1))]
+            phase = int(rng.integers(num_cameras))
+            items.extend(
+                TrafficItem(
+                    arrival_s=frame * frame_interval_s,
+                    scene=scene,
+                    pipeline=pipeline,
+                    camera_index=(phase + frame) % num_cameras,
+                    client=client,
+                )
+                for frame in range(num_frames)
+            )
+    return sorted(items, key=lambda item: (item.arrival_s, item.client))
 
 
 def _submit(server: RenderServer, item: TrafficItem) -> str:

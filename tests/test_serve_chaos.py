@@ -169,6 +169,32 @@ def test_worker_kill_mid_job_heals_and_stays_bit_identical(direct_frames):
     assert as_dict["redispatched_tiles"] == stats.redispatched_tiles
 
 
+def test_cross_job_dedupe_survives_a_worker_kill(direct_frames):
+    """Concurrent identical jobs collapse onto one dispatch (ISSUE 9's
+    in-flight dedupe) even while the fault plan kills the worker rendering
+    the shared tiles: the respawned shard's re-dispatched tiles feed every
+    attached job, and all of them complete bit-identically."""
+    store = make_store()
+    backend = ProcessPoolBackend(
+        num_workers=2, fault_plan=FaultPlan(kill_worker=0, kill_after_tiles=2)
+    )
+    with RenderServer(store, backend=backend, cache="lru") as server:
+        jobs = [server.submit("lego", "dense", tile_size=TILE) for _ in range(3)]
+        server.run_until_idle()
+        stats = server.stats()
+        for job in jobs:
+            view = server.poll(job)
+            assert view.state is JobState.DONE, view.error
+            assert (
+                server.result(job).image.tobytes()
+                == direct_frames[("lego", "dense")].tobytes()
+            )
+    assert stats.worker_respawns >= 1
+    assert stats.deduped_tiles > 0
+    assert stats.failed == 0
+    assert stats.completed == 3
+
+
 def test_dead_worker_is_detected_behind_a_full_result_queue():
     """Supervision runs on every collect — a dead worker must not hide while
     the surviving workers keep the result queue stocked (the old health
