@@ -79,6 +79,7 @@ from repro.serve import (  # noqa: E402
     DEFAULT_CACHE_BUDGET_BYTES,
     FaultPlan,
     JobState,
+    LocalHostCluster,
     ProcessPoolBackend,
     RenderServer,
     SceneStore,
@@ -141,6 +142,12 @@ def parse_args(argv=None) -> argparse.Namespace:
         type=int,
         default=None,
         help="tiles the scheduler may run ahead per pool worker (default: backend's)",
+    )
+    parser.add_argument(
+        "--num-hosts",
+        type=int,
+        default=3,
+        help="loopback host agents to fork for --backend remote",
     )
     parser.add_argument(
         "--chaos",
@@ -235,6 +242,7 @@ def resolve_config(args: argparse.Namespace) -> dict:
     config["backend"] = args.backend
     config["workers"] = args.workers
     config["queue_depth"] = args.queue_depth
+    config["num_hosts"] = args.num_hosts
     config["http_clients"] = args.http_clients
     config["seed"] = args.seed
     config["quick"] = bool(args.quick)
@@ -269,8 +277,48 @@ def make_store(config: dict, args: argparse.Namespace, num_views: int = 1) -> Sc
     )
 
 
+#: Heartbeat/backoff knobs for loopback benchmark clusters: fast enough
+#: that a killed host is declared dead in benchmark time, with a timeout
+#: that still dwarfs any quick-config tile render.
+REMOTE_KNOBS = {
+    "heartbeat_interval_s": 0.2,
+    "heartbeat_timeout_s": 5.0,
+    "backoff_base_s": 0.05,
+}
+
+
+def scheduling_backend(
+    name: str,
+    workers: int = None,
+    queue_depth: int = None,
+    cluster: LocalHostCluster = None,
+    fault_plan: FaultPlan = None,
+):
+    """Build the backend for a benchmark section.
+
+    The in-process backends take a worker count; the remote backend sizes
+    itself from the loopback cluster's addresses instead (``workers`` is
+    ignored there — host count is ``--num-hosts``).
+    """
+    if name == "remote":
+        if cluster is None:
+            raise ValueError("--backend remote needs a loopback host cluster")
+        kwargs = dict(REMOTE_KNOBS)
+        if queue_depth is not None:
+            kwargs["queue_depth"] = queue_depth
+        return make_backend(
+            "remote", hosts=cluster.addresses, fault_plan=fault_plan, **kwargs
+        )
+    depth = queue_depth if name != "serial" else None
+    return make_backend(name, workers, queue_depth=depth, fault_plan=fault_plan)
+
+
 def check_bit_identity(
-    store: SceneStore, config: dict, workers: int = None, queue_depth: int = None
+    store: SceneStore,
+    config: dict,
+    workers: int = None,
+    queue_depth: int = None,
+    cluster: LocalHostCluster = None,
 ) -> Dict[str, bool]:
     """A tile-sharded, scheduled frame must equal the direct engine render —
     under every execution backend, including process workers that rebuild
@@ -288,10 +336,14 @@ def check_bit_identity(
     ).image
     identity = {}
     for backend_name in BACKEND_NAMES:
+        if backend_name == "remote" and cluster is None:
+            continue  # no loopback hosts to dial in this run
         # The serial backend takes no queue, so the knob only reaches pools.
-        depth = queue_depth if backend_name != "serial" else None
         with RenderServer(
-            store, backend=make_backend(backend_name, workers, queue_depth=depth)
+            store,
+            backend=scheduling_backend(
+                backend_name, workers, queue_depth=queue_depth, cluster=cluster
+            ),
         ) as server:
             job = server.submit(scene, pipeline, tile_size=tile_size)
             server.run_until_idle()
@@ -349,7 +401,8 @@ def run_backend_comparison(
 
 
 def run_http_section(
-    store: SceneStore, config: dict, workers: int = None, queue_depth: int = None
+    store: SceneStore, config: dict, workers: int = None, queue_depth: int = None,
+    cluster: LocalHostCluster = None,
 ) -> dict:
     """Benchmark the HTTP/SSE edge with real sockets and concurrent clients.
 
@@ -365,7 +418,9 @@ def run_http_section(
     scenes, pipelines = config["scenes"], config["pipelines"]
     server = RenderServer(
         store,
-        backend=make_backend(config["backend"], workers, queue_depth=queue_depth),
+        backend=scheduling_backend(
+            config["backend"], workers, queue_depth=queue_depth, cluster=cluster
+        ),
         default_tile_size=config["tile_size"],
     )
     edge = HttpRenderFrontEnd(server)
@@ -441,6 +496,93 @@ def run_http_section(
         edge.shutdown()
         server.close()
     return section
+
+
+def run_remote_chaos_section(config: dict, args: argparse.Namespace) -> dict:
+    """The ISSUE 10 acceptance scenario: a loopback host fleet under fire.
+
+    Three (``--num-hosts``) host agents serve the closed-loop workload while
+    the :class:`FaultPlan` kills one host outright after a few tiles, tears
+    another's connection mid-result-frame (half a frame, then a slammed
+    socket), and poisons one bundle build.  The killed host never comes
+    back — the cluster does not respawn agents, so completion proves
+    heartbeat/connection-loss failover onto the survivors, not respawn.
+    Every non-poisoned job must complete bit-identical to a direct render
+    with ``host_losses >= 1`` and ``redispatched_tiles >= 1``.
+    """
+    scenes, pipelines = config["scenes"], config["pipelines"]
+    store = make_store(config, args)
+    tile_size = config["tile_size"] or 401
+    workload_pipeline = pipelines[0]
+    poison_key = (scenes[0], pipelines[-1]) if len(pipelines) > 1 else None
+    num_hosts = max(3, config["num_hosts"])  # kill + drop still leaves a survivor
+    plan = FaultPlan(
+        kill_worker=0, kill_after_tiles=3,
+        drop_host=1, drop_connection_after_tiles=2,
+        poison_key=poison_key,
+    )
+    direct = {
+        (scene, workload_pipeline): store.get(scene, workload_pipeline)
+        .engine.render(camera_indices=(0,), chunk_size=tile_size)
+        .image
+        for scene in scenes
+    }
+    items = closed_loop_workload(
+        scenes, [workload_pipeline], config["requests"], seed=config["seed"]
+    )
+    with LocalHostCluster(num_hosts) as cluster:
+        backend = scheduling_backend(
+            "remote", queue_depth=config["queue_depth"], cluster=cluster,
+            fault_plan=plan,
+        )
+        with RenderServer(store, backend=backend, default_tile_size=tile_size) as server:
+            start = time.perf_counter()
+            job_ids = replay_closed_loop(server, items, config["concurrency"])
+            poisoned_id = (
+                server.submit(*poison_key, tile_size=tile_size) if poison_key else None
+            )
+            server.run_until_idle()
+            wall = time.perf_counter() - start
+            outcomes = summarize_outcomes(server, job_ids)
+            identical = all(
+                np.array_equal(
+                    server.result(job_id).image,
+                    direct[(server.result(job_id).scene, server.result(job_id).pipeline)],
+                )
+                for job_id in job_ids
+                if server.poll(job_id).state is JobState.DONE
+            )
+            poisoned_view = server.poll(poisoned_id) if poisoned_id else None
+            stats = server.stats()
+    return {
+        "mode": "remote",
+        "fault_plan": {
+            "kill_worker": plan.kill_worker,
+            "kill_after_tiles": plan.kill_after_tiles,
+            "drop_host": plan.drop_host,
+            "drop_connection_after_tiles": plan.drop_connection_after_tiles,
+            "poison_key": list(poison_key) if poison_key else None,
+        },
+        "num_hosts": num_hosts,
+        "queue_depth": backend.queue_depth,
+        "wall_s": wall,
+        "requests": len(job_ids),
+        "completed_under_fault": outcomes.get("done", 0),
+        "outcomes": outcomes,
+        "bit_identical_under_fault": bool(identical),
+        "poisoned_job": (
+            {
+                "state": poisoned_view.state.value,
+                "typed_error": "PoisonedBundleError" in (poisoned_view.error or ""),
+            }
+            if poisoned_view is not None
+            else None
+        ),
+        "host_losses": stats.host_losses,
+        "host_reconnects": stats.host_reconnects,
+        "redispatched_tiles": stats.redispatched_tiles,
+        "local_fallback_tiles": stats.local_fallback_tiles,
+    }
 
 
 def run_chaos_section(config: dict, args: argparse.Namespace) -> dict:
@@ -541,10 +683,18 @@ def chaos_guard_failures(section: dict) -> List[str]:
         failures.append(
             "chaos: a frame completed under fault differs from the direct engine render"
         )
-    if section["worker_respawns"] < 1:
-        failures.append("chaos: the killed worker was never respawned")
-    if section["redispatched_tiles"] < 1:
-        failures.append("chaos: no in-flight tile was re-dispatched after the kill")
+    if section.get("mode") == "remote":
+        # No respawn exists across hosts: the healing that must have run is
+        # loss detection (heartbeat/close/torn frame) plus redispatch.
+        if section["host_losses"] < 1:
+            failures.append("chaos: no host was ever declared lost")
+        if section["redispatched_tiles"] < 1:
+            failures.append("chaos: no in-flight tile was re-dispatched after a host loss")
+    else:
+        if section["worker_respawns"] < 1:
+            failures.append("chaos: the killed worker was never respawned")
+        if section["redispatched_tiles"] < 1:
+            failures.append("chaos: no in-flight tile was re-dispatched after the kill")
     poisoned = section["poisoned_job"]
     if poisoned is not None and (
         poisoned["state"] != "failed" or not poisoned["typed_error"]
@@ -556,7 +706,9 @@ def chaos_guard_failures(section: dict) -> List[str]:
     return failures
 
 
-def run_cache_section(config: dict, args: argparse.Namespace) -> dict:
+def run_cache_section(
+    config: dict, args: argparse.Namespace, cluster: LocalHostCluster = None
+) -> dict:
     """Replay one camera orbit cold and then warm on a cache-armed server.
 
     A rig of distinct cameras is swept once with an empty tile cache (every
@@ -623,7 +775,10 @@ def run_cache_section(config: dict, args: argparse.Namespace) -> dict:
 
     with RenderServer(
         store,
-        backend=make_backend(config["backend"], args.workers, queue_depth=args.queue_depth),
+        backend=scheduling_backend(
+            config["backend"], args.workers, queue_depth=args.queue_depth,
+            cluster=cluster,
+        ),
         default_tile_size=tile_size,
         cache="lru",
         cache_budget_bytes=budget,
@@ -716,10 +871,22 @@ def completed_results(server: RenderServer, job_ids: List[str]) -> List[ServeRes
 
 
 def run(args: argparse.Namespace) -> int:
+    # The loopback host fleet outlives every section that dials it; the
+    # chaos section forks its own (it permanently kills an agent).
+    cluster = LocalHostCluster(args.num_hosts) if args.backend == "remote" else None
+    try:
+        return _run(args, cluster)
+    finally:
+        if cluster is not None:
+            cluster.close()
+
+
+def _run(args: argparse.Namespace, cluster: LocalHostCluster = None) -> int:
     config = resolve_config(args)
     scenes, pipelines = config["scenes"], config["pipelines"]
     print(f"# perf_serve: scenes={scenes} pipelines={pipelines} "
-          f"resolution={config['resolution']} image={config['image_size']}px")
+          f"resolution={config['resolution']} image={config['image_size']}px"
+          + (f" hosts={cluster.num_hosts}" if cluster is not None else ""))
 
     store = make_store(config, args)
     report = {
@@ -728,7 +895,8 @@ def run(args: argparse.Namespace) -> int:
     }
 
     identity = check_bit_identity(
-        store, config, workers=args.workers, queue_depth=args.queue_depth
+        store, config, workers=args.workers, queue_depth=args.queue_depth,
+        cluster=cluster,
     )
     report["bit_identical_to_direct_render"] = identity
     identical = all(identity.values())
@@ -737,7 +905,10 @@ def run(args: argparse.Namespace) -> int:
     # Closed loop: fixed client pool, sustainable throughput.
     closed_server = RenderServer(
         store,
-        backend=make_backend(config["backend"], args.workers, queue_depth=args.queue_depth),
+        backend=scheduling_backend(
+            config["backend"], args.workers, queue_depth=args.queue_depth,
+            cluster=cluster,
+        ),
         default_tile_size=config["tile_size"],
     )
     closed_items = closed_loop_workload(
@@ -769,7 +940,10 @@ def run(args: argparse.Namespace) -> int:
     # Open loop: Poisson arrivals against the (now warm) store.
     open_server = RenderServer(
         store,
-        backend=make_backend(config["backend"], args.workers, queue_depth=args.queue_depth),
+        backend=scheduling_backend(
+            config["backend"], args.workers, queue_depth=args.queue_depth,
+            cluster=cluster,
+        ),
         default_tile_size=config["tile_size"],
     )
     open_items = poisson_workload(
@@ -808,7 +982,8 @@ def run(args: argparse.Namespace) -> int:
     http_section = None
     if args.http:
         http_section = run_http_section(
-            store, config, workers=args.workers, queue_depth=args.queue_depth
+            store, config, workers=args.workers, queue_depth=args.queue_depth,
+            cluster=cluster,
         )
         report["http"] = http_section
         print(f"http [{config['http_clients']} clients @ {config['rate_hz']:.1f} Hz each]: "
@@ -822,24 +997,37 @@ def run(args: argparse.Namespace) -> int:
     # poisoned build injected — completion counts prove the pool heals.
     chaos_section = None
     if args.chaos:
-        chaos_section = run_chaos_section(config, args)
-        report["chaos"] = chaos_section
-        print(f"chaos [process x{chaos_section['workers']}, kill worker "
-              f"{chaos_section['fault_plan']['kill_worker']} after "
-              f"{chaos_section['fault_plan']['kill_after_tiles']} tiles]: "
-              f"{chaos_section['completed_under_fault']}/{chaos_section['requests']} "
-              f"jobs completed in {chaos_section['wall_s']:.2f}s  "
-              f"respawns {chaos_section['worker_respawns']}  "
-              f"redispatched {chaos_section['redispatched_tiles']}  "
-              f"hedged {chaos_section['hedged_tiles']}  "
-              f"stolen {chaos_section['stolen_keys']}  "
-              f"bit-identical {chaos_section['bit_identical_under_fault']}")
+        if config["backend"] == "remote":
+            chaos_section = run_remote_chaos_section(config, args)
+            report["chaos"] = chaos_section
+            print(f"chaos [remote x{chaos_section['num_hosts']} hosts, kill host "
+                  f"{chaos_section['fault_plan']['kill_worker']} + drop host "
+                  f"{chaos_section['fault_plan']['drop_host']}]: "
+                  f"{chaos_section['completed_under_fault']}/{chaos_section['requests']} "
+                  f"jobs completed in {chaos_section['wall_s']:.2f}s  "
+                  f"host losses {chaos_section['host_losses']}  "
+                  f"reconnects {chaos_section['host_reconnects']}  "
+                  f"redispatched {chaos_section['redispatched_tiles']}  "
+                  f"bit-identical {chaos_section['bit_identical_under_fault']}")
+        else:
+            chaos_section = run_chaos_section(config, args)
+            report["chaos"] = chaos_section
+            print(f"chaos [process x{chaos_section['workers']}, kill worker "
+                  f"{chaos_section['fault_plan']['kill_worker']} after "
+                  f"{chaos_section['fault_plan']['kill_after_tiles']} tiles]: "
+                  f"{chaos_section['completed_under_fault']}/{chaos_section['requests']} "
+                  f"jobs completed in {chaos_section['wall_s']:.2f}s  "
+                  f"respawns {chaos_section['worker_respawns']}  "
+                  f"redispatched {chaos_section['redispatched_tiles']}  "
+                  f"hedged {chaos_section['hedged_tiles']}  "
+                  f"stolen {chaos_section['stolen_keys']}  "
+                  f"bit-identical {chaos_section['bit_identical_under_fault']}")
 
     # Cache: one orbit replayed cold then warm on a cache-armed server —
     # the warm pass should serve every tile without touching the backend.
     cache_section = None
     if args.cache:
-        cache_section = run_cache_section(config, args)
+        cache_section = run_cache_section(config, args, cluster=cluster)
         report["cache"] = cache_section
         print(f"cache [{cache_section['backend']}, "
               f"{cache_section['num_cameras']}-camera orbit x2, "

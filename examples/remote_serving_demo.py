@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Distributed serving demo: loopback host agents, one killed mid-job.
+
+Shows the :mod:`repro.serve.remote` layer end to end:
+
+1. fork a :class:`~repro.serve.LocalHostCluster` of host agents, each a
+   real process listening on a real TCP socket — the same wire the remote
+   backend would speak to machines across a rack,
+2. serve a batch of frames through a :class:`~repro.serve.RenderServer`
+   whose ``remote`` backend connects to every host, rebuilds per-host
+   store shards from the picklable spec over the HELLO handshake, and
+   routes tiles by sticky ``(scene, pipeline)`` affinity,
+3. kill one host *mid-job* — the scheduler notices the dead connection
+   (or, for a silent partition, the missed heartbeats), declares the host
+   lost, re-dispatches its in-flight tiles to the survivor, and every
+   frame still completes byte-identical to a direct engine render,
+4. print the failover counters off the server's telemetry snapshot.
+
+Takes well under a minute on a laptop at the default sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.api import PipelineConfig, SpNeRFConfig
+from repro.serve import JobState, LocalHostCluster, RenderServer, SceneStore, make_backend
+
+
+def make_store(args: argparse.Namespace) -> SceneStore:
+    return SceneStore(
+        config=PipelineConfig(
+            spnerf=SpNeRFConfig(num_subgrids=16, hash_table_size=4096), kmeans_iterations=3
+        ),
+        scene_kwargs={
+            "resolution": args.resolution, "image_size": args.image_size,
+            "num_views": 1, "num_samples": 64,
+        },
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hosts", type=int, default=2, help="loopback host agents to fork")
+    parser.add_argument("--resolution", type=int, default=48, help="voxel grid resolution")
+    parser.add_argument("--image-size", type=int, default=56, help="rendered image side (pixels)")
+    parser.add_argument("--tile-size", type=int, default=512, help="pixels per tile job")
+    parser.add_argument(
+        "--no-kill", action="store_true", help="skip the mid-job host kill"
+    )
+    args = parser.parse_args()
+
+    # The reference frames the served ones must match, byte for byte.
+    direct_store = make_store(args)
+    direct = {
+        scene: direct_store.get(scene, "spnerf")
+        .engine.render(camera_indices=(0,), chunk_size=args.tile_size)
+        .image
+        for scene in ("lego", "ficus", "chair")
+    }
+
+    with LocalHostCluster(args.hosts) as cluster:
+        addresses = ", ".join(f"{host}:{port}" for host, port in cluster.addresses)
+        print(f"Forked {cluster.num_hosts} host agents on {addresses}")
+
+        backend = make_backend(
+            "remote", hosts=cluster.addresses,
+            heartbeat_interval_s=0.2, heartbeat_timeout_s=5.0,
+        )
+        with RenderServer(
+            make_store(args), backend=backend, default_tile_size=args.tile_size
+        ) as server:
+            jobs = {
+                server.submit(scene, "spnerf"): scene
+                for scene in ("lego", "ficus", "chair")
+                for _ in range(2)
+            }
+            print(f"Submitted {len(jobs)} jobs across {len(direct)} scenes")
+
+            if not args.no_kill:
+                # Step the scheduler until work is actually in flight, then
+                # pull the plug on host 0 — tiles dispatched to it are now
+                # stranded and must fail over.
+                while server.step() and backend.in_flight == 0:
+                    pass
+                cluster.kill(0)
+                print(f"Killed host 0 with {backend.in_flight} tiles in flight")
+
+            server.run_until_idle()
+
+            for job, scene in jobs.items():
+                view = server.poll(job)
+                assert view.state is JobState.DONE, view.error
+                frame = server.result(job).image
+                match = frame.tobytes() == direct[scene].tobytes()
+                print(f"  {scene:6s} -> {frame.shape} bit-identical={match}")
+                assert match, f"{scene} diverged from the direct render"
+
+            stats = server.stats()
+            print(f"\nFailover: host_losses={stats.host_losses} "
+                  f"host_reconnects={stats.host_reconnects} "
+                  f"redispatched_tiles={stats.redispatched_tiles} "
+                  f"local_fallback_tiles={stats.local_fallback_tiles}")
+            print(f"Completed {stats.completed} jobs, {stats.failed} failed, "
+                  f"p95 latency {stats.latency_p95_s:.3f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -35,7 +35,19 @@ Seven layers, one module each:
   self-healing and elastic: dead workers respawn from the store spec with
   their in-flight tiles re-dispatched, slow tiles are speculatively hedged,
   hot keys migrate to idle shards, and a :class:`FaultPlan` injects
-  reproducible chaos (kill / poison / delay) for the failure tests.
+  reproducible chaos (kill / poison / delay, plus remote-only network
+  faults) for the failure tests.
+* :mod:`~repro.serve.remote` — the same contract across the *host*
+  boundary: :class:`RemoteBackend` schedules tiles over a stdlib-only TCP
+  transport (length-prefixed, versioned frames; a schema skew fails with a
+  typed :class:`WireVersionError`) to :class:`RemoteHostAgent` processes
+  that rebuild their shard from the picklable store spec.  Heartbeats
+  declare silent hosts dead, their in-flight tiles redispatch to survivors
+  through the outstanding-tile table, reconnects back off exponentially
+  with deterministic jitter, torn frames are detected and never parsed,
+  and ``local_fallback=`` degrades to in-process rendering when every host
+  is gone — frames stay bit-identical throughout.
+  :class:`LocalHostCluster` forks loopback agents for tests and demos.
 * :mod:`~repro.serve.server` — :class:`RenderServer`: a pure scheduler with
   submit/poll/result, priority + FIFO queues with per-tile round-robin,
   count- and cost-based admission (priced by the hardware layer's
@@ -85,6 +97,17 @@ from repro.serve.metrics import (
     PROMETHEUS_CONTENT_TYPE,
     StreamingHistogram,
     render_prometheus,
+)
+from repro.serve.remote import (
+    WIRE_VERSION,
+    FrameDecoder,
+    LocalHostCluster,
+    RemoteBackend,
+    RemoteHostAgent,
+    TornFrameError,
+    WireError,
+    WireVersionError,
+    encode_frame,
 )
 from repro.serve.server import (
     OVER_COST_POLICIES,
@@ -156,6 +179,16 @@ __all__ = [
     "BackendEvent",
     "BACKEND_NAMES",
     "make_backend",
+    # remote
+    "RemoteBackend",
+    "RemoteHostAgent",
+    "LocalHostCluster",
+    "WIRE_VERSION",
+    "WireError",
+    "WireVersionError",
+    "TornFrameError",
+    "encode_frame",
+    "FrameDecoder",
     # server
     "RenderServer",
     "Priority",

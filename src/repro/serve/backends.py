@@ -57,8 +57,16 @@ three ways, all driven from a supervision sweep that runs on every
   worker, at a bounded rate so bundles don't thrash (``stolen_keys``).
 
 Reproducible chaos is injected with a :class:`FaultPlan` (kill worker *N*
-after *M* tiles, poison one bundle build, delay a worker), threaded through
+after *M* tiles, poison one bundle build, delay a worker, plus the network
+faults only the remote backend can suffer), threaded through
 :func:`make_backend` so tests and benchmarks can prove jobs survive.
+
+A fourth backend crosses the host boundary:
+:class:`~repro.serve.remote.RemoteBackend` (in :mod:`repro.serve.remote`)
+speaks the same ``TileTask``/``TileResult`` contract to
+:class:`~repro.serve.remote.RemoteHostAgent` processes over TCP, reusing
+this module's affinity routing and outstanding-tile table — supervision and
+re-dispatch transfer unchanged once a socket replaces the fork + queue pair.
 """
 
 from __future__ import annotations
@@ -164,6 +172,20 @@ class FaultPlan:
     * ``delay_worker`` / ``delay_s`` — worker ``delay_worker`` sleeps
       ``delay_s`` before each tile: a degraded-but-alive shard, the case
       speculative hedging exists for.
+
+    The **network faults** stage what only the remote backend can suffer
+    (the in-process pools refuse plans that set them):
+
+    * ``drop_host`` / ``drop_connection_after_tiles`` — host ``drop_host``
+      tears its scheduler connection after serving that many tiles, mid
+      result frame: the scheduler must detect the torn frame, discard the
+      partial bytes, redispatch, and later reconnect.  Fires once per plan.
+    * ``partition_host`` — that host goes silent on its next task without
+      closing anything: no results, no pongs, socket open.  Only the
+      heartbeat deadline can declare it dead.
+    * ``delay_host`` / ``delay_host_s`` — that host sleeps *after*
+      rendering, before replying: slow network rather than slow compute
+      (``delay_worker`` models the latter).
     """
 
     kill_worker: Optional[int] = None
@@ -171,12 +193,35 @@ class FaultPlan:
     poison_key: Optional[Tuple[str, str]] = None
     delay_worker: Optional[int] = None
     delay_s: float = 0.0
+    drop_host: Optional[int] = None
+    drop_connection_after_tiles: int = 1
+    partition_host: Optional[int] = None
+    delay_host: Optional[int] = None
+    delay_host_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kill_after_tiles < 1:
             raise ValueError(f"kill_after_tiles must be at least 1, got {self.kill_after_tiles}")
         if self.delay_s < 0:
             raise ValueError(f"delay_s must be non-negative, got {self.delay_s}")
+        if self.drop_connection_after_tiles < 1:
+            raise ValueError(
+                "drop_connection_after_tiles must be at least 1, "
+                f"got {self.drop_connection_after_tiles}"
+            )
+        if self.delay_host_s < 0:
+            raise ValueError(f"delay_host_s must be non-negative, got {self.delay_host_s}")
+
+    def network_faults(self) -> Tuple[str, ...]:
+        """The network-fault knobs this plan sets (remote backend only)."""
+        faults = []
+        if self.drop_host is not None:
+            faults.append("drop_host")
+        if self.partition_host is not None:
+            faults.append("partition_host")
+        if self.delay_host is not None:
+            faults.append("delay_host")
+        return tuple(faults)
 
     def without_kill(self) -> "FaultPlan":
         """The same plan minus the crash — what a respawned worker receives."""
@@ -263,16 +308,28 @@ class ExecutionBackend:
     name: str = "?"
     #: Parallel workers this backend renders on.
     num_workers: int = 1
+    #: Whether this backend honors :meth:`FaultPlan.network_faults` (only
+    #: the remote backend does; the in-process pools refuse such plans).
+    supports_network_faults: bool = False
 
     def __init__(self) -> None:
         self._in_flight = 0
         self._started = False
         #: Elasticity counters the server folds into :class:`ServerStats`.
-        #: Only the process pool ever moves them; they stay 0 elsewhere.
+        #: Only the pool/remote backends ever move them; they stay 0
+        #: elsewhere.  The host_* and local_fallback counters belong to the
+        #: remote backend (lost hosts, re-established connections, tiles
+        #: rendered on the in-process fallback shard).
         self.worker_respawns = 0
         self.redispatched_tiles = 0
         self.hedged_tiles = 0
         self.stolen_keys = 0
+        self.host_losses = 0
+        self.host_reconnects = 0
+        self.local_fallback_tiles = 0
+        #: Events evicted from the bounded ring before anyone drained them —
+        #: visible (via :class:`ServerStats`) instead of silently lost.
+        self.dropped_events = 0
         #: Pending :class:`BackendEvent`\s, bounded so an undrained backend
         #: (no tracer attached) cannot grow without limit.
         self._events: Deque[BackendEvent] = deque(maxlen=4096)
@@ -352,6 +409,8 @@ class ExecutionBackend:
         return events
 
     def _emit(self, name: str, job_id: Optional[str] = None, **attrs) -> None:
+        if self._events.maxlen is not None and len(self._events) == self._events.maxlen:
+            self.dropped_events += 1  # the append below evicts the oldest
         self._events.append(BackendEvent(name=name, job_id=job_id, attrs=attrs))
 
     # -- subclass hooks -------------------------------------------------
@@ -441,6 +500,13 @@ class _PoolBackend(ExecutionBackend):
             raise ValueError(f"num_workers must be at least 1, got {num_workers}")
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be at least 1, got {queue_depth}")
+        if fault_plan is not None and not self.supports_network_faults:
+            refused = fault_plan.network_faults()
+            if refused:
+                raise ValueError(
+                    f"network fault(s) {', '.join(refused)} require the remote "
+                    "backend (in-process workers have no connections to drop)"
+                )
         self.num_workers = num_workers if num_workers is not None else _default_num_workers()
         #: Submitted-not-collected tiles the scheduler may run ahead per
         #: worker; 2 keeps every worker busy while it renders.
@@ -937,7 +1003,7 @@ class ProcessPoolBackend(_PoolBackend):
 
 
 #: Backend names :func:`make_backend` (and the benchmark CLI) accept.
-BACKEND_NAMES = ("serial", "thread", "process")
+BACKEND_NAMES = ("serial", "thread", "process", "remote")
 
 
 def make_backend(
@@ -947,18 +1013,67 @@ def make_backend(
     fault_plan: Optional[FaultPlan] = None,
     hedge_multiplier: Optional[float] = None,
     steal_interval_s: Optional[float] = None,
+    hosts=None,
+    heartbeat_interval_s: Optional[float] = None,
+    heartbeat_timeout_s: Optional[float] = None,
+    dispatch_timeout_s: Optional[float] = None,
+    connect_timeout_s: Optional[float] = None,
+    backoff_base_s: Optional[float] = None,
+    backoff_max_s: Optional[float] = None,
+    local_fallback: Optional[bool] = None,
 ) -> ExecutionBackend:
     """Construct a backend by name.
 
     ``num_workers`` and ``queue_depth`` configure the pool backends (each
     validates its own range); ``fault_plan`` injects reproducible failures
-    into a pool (kill is process-only); ``hedge_multiplier`` and
-    ``steal_interval_s`` enable speculative re-dispatch and work stealing on
-    the process pool.  The serial backend ignores ``num_workers`` (for CLI
-    convenience, as before) but refuses the elasticity knobs — asking for a
-    queue, a fault or a hedge it cannot honor is an error, not a silent
-    no-op.
+    into a pool (kill is process-only; network faults are remote-only);
+    ``hedge_multiplier`` and ``steal_interval_s`` enable speculative
+    re-dispatch and work stealing on the process pool.  ``hosts`` plus the
+    heartbeat/backoff/timeout/fallback knobs configure the remote backend
+    (see :class:`~repro.serve.remote.RemoteBackend`), which sizes itself
+    from the host list.  Every backend refuses knobs it cannot honor —
+    asking the serial backend for a fault plan, a pool for a heartbeat, or
+    the remote backend for hedging is an error, not a silent no-op.
     """
+    remote_only = {
+        "hosts": hosts,
+        "heartbeat_interval_s": heartbeat_interval_s,
+        "heartbeat_timeout_s": heartbeat_timeout_s,
+        "dispatch_timeout_s": dispatch_timeout_s,
+        "connect_timeout_s": connect_timeout_s,
+        "backoff_base_s": backoff_base_s,
+        "backoff_max_s": backoff_max_s,
+        "local_fallback": local_fallback,
+    }
+    if name in ("serial", "thread", "process"):
+        refused = sorted(knob for knob, value in remote_only.items() if value is not None)
+        if refused:
+            raise ValueError(
+                f"the {name} backend does not support the remote-only "
+                f"knob(s): {', '.join(refused)}; use "
+                "make_backend('remote', hosts=...)"
+            )
+    if name == "remote":
+        if hedge_multiplier is not None or steal_interval_s is not None:
+            raise ValueError(
+                "hedging and work stealing are not supported on the remote "
+                "backend (failover re-dispatch covers host loss)"
+            )
+        if num_workers is not None:
+            raise ValueError(
+                "the remote backend sizes itself from hosts=; "
+                "num_workers is not accepted"
+            )
+        from repro.serve.remote import RemoteBackend  # lazy: avoids an import cycle
+
+        remote_kwargs = {
+            knob: value
+            for knob, value in remote_only.items()
+            if knob != "hosts" and value is not None
+        }
+        if queue_depth is not None:
+            remote_kwargs["queue_depth"] = queue_depth
+        return RemoteBackend(hosts=hosts, fault_plan=fault_plan, **remote_kwargs)
     if name == "serial":
         pool_only = {
             "queue_depth": queue_depth,

@@ -596,6 +596,10 @@ class RenderServer:
             redispatched_tiles=self.backend.redispatched_tiles,
             hedged_tiles=self.backend.hedged_tiles,
             stolen_keys=self.backend.stolen_keys,
+            host_losses=self.backend.host_losses,
+            host_reconnects=self.backend.host_reconnects,
+            local_fallback_tiles=self.backend.local_fallback_tiles,
+            dropped_backend_events=self.backend.dropped_events,
             cache_stats=self.cache.stats() if self.cache is not None else None,
         )
 
@@ -620,6 +624,14 @@ class RenderServer:
              stats.hedged_tiles),
             ("keys_stolen", "Affinity keys migrated off a saturated worker.",
              stats.stolen_keys),
+            ("host_losses", "Remote hosts declared dead (EOF, torn frame, heartbeat).",
+             stats.host_losses),
+            ("host_reconnects", "Remote host connections re-established after a loss.",
+             stats.host_reconnects),
+            ("tiles_local_fallback", "Tiles rendered on the local fallback shard.",
+             stats.local_fallback_tiles),
+            ("backend_events_dropped", "Elasticity events evicted from the bounded ring.",
+             stats.dropped_backend_events),
             ("store_hits", "Bundle requests served from residency.", stats.store_hits),
             ("store_misses", "Bundle requests that forced a build.", stats.store_misses),
             ("store_evictions", "Bundles evicted by the store's LRU budget.",

@@ -20,6 +20,7 @@ compressed model cached on it — is dropped too.
 from __future__ import annotations
 
 import hashlib
+import pickle
 import threading
 import time
 from collections import OrderedDict
@@ -103,6 +104,10 @@ class SceneStoreSpec:
     function, or ``None`` for the default :func:`repro.api.load_scene`);
     stores created with an unpicklable closure loader still spec fine under
     the fork start method, which inherits the closure instead of pickling it.
+
+    The remote backend has no fork to hide behind — the spec crosses a
+    *socket* to the host agents — so it calls :meth:`ensure_picklable` up
+    front to turn the eventual obscure pickling error into a typed one.
     """
 
     memory_budget_bytes: Optional[int] = None
@@ -110,6 +115,21 @@ class SceneStoreSpec:
     config: Optional[PipelineConfig] = None
     scene_kwargs: Optional[Dict[str, object]] = None
     loader: Optional[Callable[[str], SyntheticScene]] = None
+
+    def ensure_picklable(self) -> None:
+        """Raise a legible ``TypeError`` if this spec cannot cross a socket.
+
+        Remote host agents rebuild their shard from the spec sent over the
+        wire; a closure loader (fine under fork) cannot make that trip.
+        """
+        try:
+            pickle.dumps(self)
+        except Exception as exc:
+            raise TypeError(
+                "SceneStoreSpec is not picklable, so it cannot be shipped to "
+                "remote host agents: the loader must be a module-level "
+                f"function (or None for the default), not {self.loader!r}"
+            ) from exc
 
 
 class SceneStore:

@@ -87,7 +87,10 @@ class ServerStats:
     slow tiles) and ``stolen_keys`` (``(scene, pipeline)`` affinity keys
     migrated off a hot shard).  Duplicate completions those mechanisms
     produce are dropped by the scheduler and counted in
-    ``dropped_tile_results``.
+    ``dropped_tile_results``.  The remote backend adds ``host_losses``,
+    ``host_reconnects`` and ``local_fallback_tiles`` (and, like every
+    backend, reports ``dropped_backend_events`` when its bounded event ring
+    overflows undrained).
 
     ``stage_breakdown`` maps each pipeline stage (``queue_wait``, ``build``,
     ``render``, ``reassemble``, ``deliver``, ``latency``) to its bounded-
@@ -113,6 +116,16 @@ class ServerStats:
     redispatched_tiles: int = 0
     hedged_tiles: int = 0
     stolen_keys: int = 0
+    #: Remote-backend robustness counters (0 on in-process backends):
+    #: hosts declared dead (EOF, torn frame, heartbeat deadline), host
+    #: connections re-established after a loss, and tiles rendered on the
+    #: local in-process fallback shard while every host was down.
+    host_losses: int = 0
+    host_reconnects: int = 0
+    local_fallback_tiles: int = 0
+    #: Backend elasticity events evicted from the bounded ring before the
+    #: scheduler drained them (an undrained or overwhelmed tracer).
+    dropped_backend_events: int = 0
     num_rays: int = 0
     num_culled_samples: int = 0
     num_skipped_rays: int = 0
@@ -237,6 +250,10 @@ class Telemetry:
         redispatched_tiles: int = 0,
         hedged_tiles: int = 0,
         stolen_keys: int = 0,
+        host_losses: int = 0,
+        host_reconnects: int = 0,
+        local_fallback_tiles: int = 0,
+        dropped_backend_events: int = 0,
         cache_stats: Optional[TileCacheStats] = None,
     ) -> ServerStats:
         """Aggregate everything recorded so far into one :class:`ServerStats`.
@@ -270,6 +287,10 @@ class Telemetry:
             redispatched_tiles=redispatched_tiles,
             hedged_tiles=hedged_tiles,
             stolen_keys=stolen_keys,
+            host_losses=host_losses,
+            host_reconnects=host_reconnects,
+            local_fallback_tiles=local_fallback_tiles,
+            dropped_backend_events=dropped_backend_events,
             num_rays=self.render_stats.num_rays,
             num_culled_samples=self.render_stats.num_culled_samples,
             num_skipped_rays=self.render_stats.num_skipped_rays,

@@ -53,7 +53,11 @@ SPAN_NAMES = ("queue", "build", "render-tile", "reassemble", "deliver")
 #: cache; ``dedup-attach`` marks a tile that joined an identical in-flight
 #: dispatch of another job instead of dispatching its own (its ``link``
 #: attr ties it to the origin's ``render-tile`` span — the Chrome export
-#: renders the pair as a flow arrow).
+#: renders the pair as a flow arrow).  The remote backend contributes
+#: ``host-lost`` (a host declared dead: EOF, torn frame, or heartbeat
+#: deadline), ``reconnected`` (its connection re-established after
+#: backoff), and ``local-fallback`` (a stranded tile rendered on the
+#: in-process fallback shard while every host was down).
 EVENT_NAMES = (
     "hedged",
     "redispatched",
@@ -65,6 +69,9 @@ EVENT_NAMES = (
     "failed",
     "cache-hit",
     "dedup-attach",
+    "host-lost",
+    "reconnected",
+    "local-fallback",
 )
 
 

@@ -228,6 +228,61 @@ def test_dead_worker_is_detected_behind_a_full_result_queue():
         backend.close()
 
 
+def test_partitioned_host_is_declared_dead_behind_a_busy_scheduler():
+    """The remote-backend twin of the test above (ISSUE 10): a *partitioned*
+    host keeps its socket open but goes silent, so neither a connection
+    close nor a torn frame will ever fire — only the heartbeat deadline can
+    declare it dead.  The scheduler is kept busy with strictly non-blocking
+    collects while the survivor streams results, the silent host is
+    condemned mid-job, its in-flight tiles redispatch, and every unique
+    tile completes bit-identically with zero errors."""
+    from repro.serve import LocalHostCluster
+
+    store = make_store()
+    with LocalHostCluster(2) as cluster:
+        backend = make_backend(
+            "remote", hosts=cluster.addresses,
+            heartbeat_interval_s=0.1, heartbeat_timeout_s=1.0,
+            backoff_base_s=0.05,
+            fault_plan=FaultPlan(partition_host=0),
+        )
+        backend.start(store)
+        try:
+            tiles = [(i * 96, (i + 1) * 96) for i in range(6)]
+            for index, (start, stop) in enumerate(tiles):
+                backend.submit(TileTask("job-a", index, "lego", "dense", 0, start, stop))
+            for index, (start, stop) in enumerate(tiles):
+                backend.submit(TileTask("job-b", index, "ficus", "dense", 0, start, stop))
+            seen = {}
+            deadline = time.monotonic() + 90.0
+            while backend.in_flight > 0 and time.monotonic() < deadline:
+                # Strictly non-blocking collects: heartbeat supervision is
+                # the only thing that can notice the silent host here.
+                for result in backend.collect(block=False):
+                    if not result.duplicate:
+                        seen[(result.job_id, result.tile_index)] = result
+                time.sleep(0.01)
+            assert backend.in_flight == 0
+            assert len(seen) == 12
+            assert all(r.error is None for r in seen.values())
+            assert backend.host_losses >= 1
+            assert backend.redispatched_tiles >= 1
+            # Redispatched tiles still match a direct render sharded the
+            # same way, byte for byte (tile images are flat (P, 3) runs,
+            # and bit-identity is per chunk partition — so chunk at 96).
+            flat = {
+                job_id: store.get(scene, "dense")
+                .engine.render(camera_indices=(0,), chunk_size=96)
+                .image.reshape(-1, 3)
+                for job_id, scene in (("job-a", "lego"), ("job-b", "ficus"))
+            }
+            for (job_id, index), result in seen.items():
+                start, stop = tiles[index]
+                assert result.image.tobytes() == flat[job_id][start:stop].tobytes()
+        finally:
+            backend.close()
+
+
 # ----------------------------------------------------------------------
 # Poison + kill under a multi-job closed-loop workload (acceptance)
 # ----------------------------------------------------------------------
